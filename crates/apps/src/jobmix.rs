@@ -1,0 +1,136 @@
+//! Synthetic job mixes for the resource-management experiments (F22):
+//! deterministic generators of workloads with heterogeneous booster
+//! demand, the situation where dynamic assignment pays off.
+
+use deep_simkit::{SimDuration, SimRng};
+
+/// Parameters of a generated mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MixParams {
+    /// Number of jobs.
+    pub n_jobs: u32,
+    /// Mean inter-arrival time.
+    pub mean_interarrival: SimDuration,
+    /// Cluster nodes per job (uniform 1..=max).
+    pub max_cn: u32,
+    /// Booster nodes per offload phase (uniform 0..=max).
+    pub max_bn: u32,
+    /// Mean cluster-phase duration.
+    pub mean_cn_time: SimDuration,
+    /// Mean offload-phase duration.
+    pub mean_bn_time: SimDuration,
+    /// Phases per job (uniform 1..=max).
+    pub max_phases: u32,
+    /// Fraction of jobs that never offload (pure cluster codes).
+    pub pure_cluster_fraction: f64,
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        MixParams {
+            n_jobs: 24,
+            mean_interarrival: SimDuration::secs(20),
+            max_cn: 4,
+            max_bn: 8,
+            mean_cn_time: SimDuration::secs(60),
+            mean_bn_time: SimDuration::secs(40),
+            max_phases: 3,
+            pure_cluster_fraction: 0.3,
+        }
+    }
+}
+
+/// Generate a deterministic `(arrival, spec)` list for `seed`.
+pub fn generate_mix(seed: u64, p: MixParams) -> Vec<(SimDuration, deep_resmgr::JobSpec)> {
+    let mut rng = SimRng::from_seed_stream(seed, 0x10B);
+    let mut out = Vec::with_capacity(p.n_jobs as usize);
+    let mut arrival = SimDuration::ZERO;
+    for j in 0..p.n_jobs {
+        arrival += SimDuration::from_secs_f64(rng.gen_exp(p.mean_interarrival.as_secs_f64()));
+        let pure = rng.gen_f64() < p.pure_cluster_fraction;
+        let n_phases = rng.gen_range(1..=p.max_phases);
+        let mut phases = Vec::with_capacity(n_phases as usize);
+        for _ in 0..n_phases {
+            let cn_time = SimDuration::from_secs_f64(
+                rng.gen_exp(p.mean_cn_time.as_secs_f64()).max(1.0),
+            );
+            let (bn_needed, bn_time) = if pure {
+                (0, SimDuration::ZERO)
+            } else {
+                (
+                    rng.gen_range(1..=p.max_bn.max(1)),
+                    SimDuration::from_secs_f64(
+                        rng.gen_exp(p.mean_bn_time.as_secs_f64()).max(1.0),
+                    ),
+                )
+            };
+            phases.push(deep_resmgr::JobPhase {
+                cn_time,
+                bn_needed,
+                bn_time,
+            });
+        }
+        out.push((
+            arrival,
+            deep_resmgr::JobSpec {
+                name: format!("job{j}"),
+                cn_needed: rng.gen_range(1..=p.max_cn),
+                phases,
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let a = generate_mix(7, MixParams::default());
+        let b = generate_mix(7, MixParams::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+        }
+        let c = generate_mix(8, MixParams::default());
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.1 != y.1));
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        let mix = generate_mix(3, MixParams::default());
+        for w in mix.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn pure_cluster_fraction_roughly_respected() {
+        let p = MixParams {
+            n_jobs: 200,
+            ..MixParams::default()
+        };
+        let mix = generate_mix(11, p);
+        let pure = mix
+            .iter()
+            .filter(|(_, j)| j.phases.iter().all(|ph| ph.bn_needed == 0))
+            .count();
+        let frac = pure as f64 / 200.0;
+        assert!((0.2..0.4).contains(&frac), "pure fraction {frac}");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let p = MixParams::default();
+        for (_, j) in generate_mix(5, p) {
+            assert!(j.cn_needed >= 1 && j.cn_needed <= p.max_cn);
+            assert!(!j.phases.is_empty() && j.phases.len() <= p.max_phases as usize);
+            for ph in &j.phases {
+                assert!(ph.bn_needed <= p.max_bn);
+            }
+        }
+    }
+}

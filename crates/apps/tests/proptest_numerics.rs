@@ -1,0 +1,89 @@
+//! Property-based numerical tests: the tiled Cholesky pipeline and the
+//! distributed CG solver must agree with their serial references for
+//! arbitrary problem shapes.
+
+use deep_apps::cholesky::{
+    cholesky_graph, factorisation_error, reference_cholesky, spd_matrix, TiledMatrix,
+};
+use deep_apps::{cg_reference, run_cg_ideal, run_jacobi_ideal};
+use deep_hw::NodeModel;
+use deep_ompss::run_dataflow;
+use deep_simkit::Simulation;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dataflow-scheduled tiled Cholesky factorises exactly for any tile
+    /// geometry and worker count.
+    #[test]
+    fn tiled_cholesky_always_factorises(
+        nt in 1usize..6,
+        ts in 2usize..10,
+        workers in 1u32..16,
+    ) {
+        let n = nt * ts;
+        let a = spd_matrix(n);
+        let m = TiledMatrix::from_dense(&a, nt, ts);
+        let g = cholesky_graph(&m);
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let node = NodeModel::xeon_phi_knc();
+        let h = sim.spawn("run", async move { run_dataflow(&ctx, g, &node, workers).await });
+        sim.run().assert_completed();
+        prop_assert!(h.try_result().is_some());
+        let err = factorisation_error(&m.to_dense(), &a, n);
+        prop_assert!(err < 1e-8, "nt={nt} ts={ts} workers={workers}: err {err}");
+
+        // And it matches the serial reference on the lower triangle (the
+        // above-diagonal tiles are untouched workspace, as in LAPACK).
+        let mut reference = a.clone();
+        reference_cholesky(&mut reference, n);
+        let tiled = m.to_dense();
+        for i in 0..n {
+            for j in 0..=i {
+                let (x, y) = (tiled[i * n + j], reference[i * n + j]);
+                prop_assert!((x - y).abs() < 1e-8, "L[{i}][{j}]: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Distributed CG matches the serial CG checksum for any grid and
+    /// rank count.
+    #[test]
+    fn distributed_cg_matches_serial(
+        nx in 4usize..20,
+        ny in 4usize..20,
+        ranks in 1u32..7,
+    ) {
+        let serial = cg_reference(nx, ny, 400, 1e-7);
+        let (dist, _) = run_cg_ideal(1, ranks, nx, ny, 400, 1e-7);
+        prop_assert!(dist.residual < 1e-6, "converged: {}", dist.residual);
+        prop_assert!(
+            (dist.checksum - serial.checksum).abs()
+                <= 1e-5 * serial.checksum.abs().max(1.0),
+            "nx={nx} ny={ny} ranks={ranks}: {} vs {}",
+            dist.checksum,
+            serial.checksum
+        );
+    }
+
+    /// Jacobi is rank-count invariant: the physics cannot depend on the
+    /// decomposition.
+    #[test]
+    fn jacobi_rank_invariant(
+        nx in 4usize..16,
+        ny in 4usize..16,
+        ranks in 2u32..6,
+    ) {
+        let (one, _) = run_jacobi_ideal(1, 1, nx, ny, 500, 1e-8);
+        let (many, _) = run_jacobi_ideal(1, ranks, nx, ny, 500, 1e-8);
+        prop_assert_eq!(one.sweeps, many.sweeps);
+        prop_assert!(
+            (one.checksum - many.checksum).abs() < 1e-6,
+            "checksums {} vs {}",
+            one.checksum,
+            many.checksum
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benches of the OmpSs layer: dependence-graph construction
+//! and dataflow execution of the tiled Cholesky (including the real tile
+//! arithmetic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_apps::cholesky::{cholesky_graph, spd_matrix, TiledMatrix};
+use deep_hw::NodeModel;
+use deep_ompss::run_dataflow;
+use deep_simkit::Simulation;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ompss/cholesky_graph_build");
+    for nt in [8usize, 16, 24] {
+        let ts = 8;
+        let a = spd_matrix(nt * ts);
+        let tasks = (nt * (nt + 1) * (nt + 2)) / 6 + nt * (nt - 1) / 2;
+        g.throughput(Throughput::Elements(tasks as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |b, &nt| {
+            b.iter(|| {
+                let m = TiledMatrix::from_dense(&a, nt, ts);
+                cholesky_graph(&m).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataflow_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ompss/cholesky_dataflow");
+    for nt in [8usize, 12] {
+        let ts = 16;
+        let a = spd_matrix(nt * ts);
+        g.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |b, &nt| {
+            b.iter(|| {
+                let m = TiledMatrix::from_dense(&a, nt, ts);
+                let graph = cholesky_graph(&m);
+                let node = NodeModel::xeon_phi_knc();
+                let mut sim = Simulation::new(1);
+                let ctx = sim.handle();
+                let h = sim.spawn("run", async move {
+                    run_dataflow(&ctx, graph, &node, 60).await
+                });
+                sim.run().assert_completed();
+                h.try_result().unwrap().makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_build, bench_dataflow_run
+}
+criterion_main!(benches);

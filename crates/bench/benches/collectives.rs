@@ -1,0 +1,54 @@
+//! Criterion benches of the simulated MPI layer: collectives over a real
+//! fat-tree fabric, measured in wall time per simulated operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_psmpi::{ReduceOp, Value};
+
+fn run_collective(op: &str, ranks: u32, repeats: u32) {
+    let op = op.to_string();
+    deep_bench::run_ib_ranks(1, ranks, move |m| {
+        let op = op.clone();
+        Box::pin(async move {
+            let world = m.world().clone();
+            for _ in 0..repeats {
+                match op.as_str() {
+                    "barrier" => m.barrier(&world).await,
+                    "allreduce" => {
+                        m.allreduce(&world, ReduceOp::Sum, Value::F64(1.0), 1024).await;
+                    }
+                    "bcast" => {
+                        m.bcast(&world, 0, Value::F64(1.0), 4096).await;
+                    }
+                    "alltoall" => {
+                        let blocks = (0..world.size()).map(|_| Value::Unit).collect();
+                        m.alltoall(&world, blocks, 1024).await;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            0.0
+        })
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    for op in ["barrier", "allreduce", "bcast", "alltoall"] {
+        let mut g = c.benchmark_group(format!("mpi/{op}"));
+        for ranks in [8u32, 32, 128] {
+            // alltoall at 128 ranks is O(n^2) messages per op; scale reps.
+            let repeats = if op == "alltoall" { 3 } else { 10 };
+            g.throughput(Throughput::Elements(repeats as u64));
+            g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+                b.iter(|| run_collective(op, n, repeats))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benches of the simulation kernel itself: how fast does the
+//! engine push virtual events? (These measure real wall time of the
+//! simulator — the figure binaries measure *virtual* time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_simkit::{bounded, channel, Semaphore, SimDuration, Simulation};
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/timers");
+    for n_procs in [10u64, 100, 1000] {
+        let events = n_procs * 100;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(n_procs), &n_procs, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(1);
+                for i in 0..n {
+                    let ctx = sim.handle();
+                    sim.spawn(format!("p{i}"), async move {
+                        for k in 0..100u64 {
+                            ctx.sleep(SimDuration::nanos(1 + (i * 7 + k) % 97)).await;
+                        }
+                    });
+                }
+                sim.run().assert_completed();
+                sim.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/channels");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("unbounded_pingpong", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let ctx = sim.handle();
+            let (tx_a, rx_a) = channel::<u64>(&ctx);
+            let (tx_b, rx_b) = channel::<u64>(&ctx);
+            sim.spawn("ping", async move {
+                for i in 0..5_000u64 {
+                    tx_a.send(i).await.unwrap();
+                    rx_b.recv().await.unwrap();
+                }
+            });
+            sim.spawn("pong", async move {
+                for _ in 0..5_000u64 {
+                    let v = rx_a.recv().await.unwrap();
+                    tx_b.send(v).await.unwrap();
+                }
+            });
+            sim.run().assert_completed();
+        })
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("bounded_backpressure", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let ctx = sim.handle();
+            let (tx, rx) = bounded::<u64>(&ctx, 8);
+            sim.spawn("producer", async move {
+                for i in 0..10_000u64 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            let ctx2 = ctx.clone();
+            sim.spawn("consumer", async move {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv().await {
+                    sum += v;
+                    if sum % 64 == 0 {
+                        ctx2.sleep(SimDuration::nanos(1)).await;
+                    }
+                }
+                sum
+            });
+            sim.run().assert_completed();
+        })
+    });
+    g.finish();
+}
+
+fn bench_semaphore(c: &mut Criterion) {
+    c.bench_function("engine/semaphore_contention", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let ctx = sim.handle();
+            let sem = Semaphore::new(&ctx, 4);
+            for i in 0..64 {
+                let sem = sem.clone();
+                let ctx = ctx.clone();
+                sim.spawn(format!("w{i}"), async move {
+                    for _ in 0..50 {
+                        let g = sem.acquire().await;
+                        ctx.sleep(SimDuration::nanos(10)).await;
+                        drop(g);
+                    }
+                });
+            }
+            sim.run().assert_completed();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timer_wheel, bench_channels, bench_semaphore
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches of the fabric contention engine: transfers per
+//! second of wall time across topologies.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_fabric::{
+    fattree::{ib_fdr_host_spec, ib_fdr_trunk_spec},
+    torus::extoll_link_spec,
+    EndpointOverhead, FatTree, Network, NodeId, Torus3D,
+};
+use deep_simkit::Simulation;
+
+fn run_transfers(topo: &str, n_transfers: u64) {
+    let mut sim = Simulation::new(1);
+    let ctx = sim.handle();
+    let net: Rc<Network> = match topo {
+        "torus" => Rc::new(Network::new(
+            &ctx,
+            Box::new(Torus3D::new((8, 8, 8), extoll_link_spec())),
+            4096,
+            1,
+        )),
+        "fattree" => Rc::new(Network::new(
+            &ctx,
+            Box::new(FatTree::new(
+                512,
+                18,
+                18,
+                ib_fdr_host_spec(),
+                ib_fdr_trunk_spec(),
+            )),
+            4096,
+            1,
+        )),
+        _ => unreachable!(),
+    };
+    let n_nodes = net.num_nodes() as u32;
+    for i in 0..n_transfers {
+        let net = net.clone();
+        let src = NodeId((i as u32 * 37) % n_nodes);
+        let dst = NodeId((i as u32 * 101 + 13) % n_nodes);
+        sim.spawn(format!("x{i}"), async move {
+            if src != dst {
+                net.transfer(src, dst, 4096 + (64 * i) % 65536, EndpointOverhead::default())
+                    .await
+                    .unwrap();
+            }
+        });
+    }
+    sim.run().assert_completed();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/transfers");
+    for topo in ["torus", "fattree"] {
+        let n = 2000u64;
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::from_parameter(topo), &topo, |b, &topo| {
+            b.iter(|| run_transfers(topo, n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    use deep_fabric::Topology;
+    let torus = Torus3D::new((16, 16, 16), extoll_link_spec());
+    let mut path = Vec::with_capacity(32);
+    c.bench_function("fabric/torus_dor_route", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(911);
+            path.clear();
+            torus.route(
+                NodeId(i % 4096),
+                NodeId((i.wrapping_mul(2654435761)) % 4096),
+                &mut path,
+            );
+            path.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transfers, bench_routing
+}
+criterion_main!(benches);

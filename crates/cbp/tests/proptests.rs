@@ -1,0 +1,108 @@
+//! Property-based tests of the Cluster–Booster Protocol.
+
+use std::rc::Rc;
+
+use deep_cbp::{CbpConfig, CbpWire, CbpWireHandle, Side};
+use deep_fabric::{ExtollFabric, IbFabric};
+use deep_psmpi::{EpId, Wire};
+use deep_simkit::{Sim, Simulation};
+use proptest::prelude::*;
+
+fn machine(sim: &Sim, n_cluster: u32, n_bi: u32, dim: u32) -> Rc<CbpWire> {
+    let ib = Rc::new(IbFabric::new(sim, n_cluster + n_bi));
+    let extoll = Rc::new(ExtollFabric::new(sim, (dim, dim, dim)));
+    let n_booster = dim * dim * dim;
+    let bis = (0..n_bi)
+        .map(|i| (n_cluster + i, (i * dim) % n_booster))
+        .collect();
+    CbpWire::new(sim, ib, extoll, CbpConfig::new(n_cluster, n_booster, bis))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Endpoint ids partition exactly into cluster + booster sides, and
+    /// the mapping round-trips.
+    #[test]
+    fn endpoint_space_partitions(
+        n_cluster in 1u32..20,
+        n_bi in 1u32..4,
+        dim in 1u32..5,
+    ) {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let w = machine(&ctx, n_cluster, n_bi, dim);
+        let n_booster = dim * dim * dim;
+        prop_assume!(n_bi <= n_booster);
+        prop_assert_eq!(w.num_endpoints(), n_cluster + n_booster);
+        for ep in 0..w.num_endpoints() {
+            match w.side_of(EpId(ep)) {
+                Side::Cluster(n) => {
+                    prop_assert!(ep < n_cluster);
+                    prop_assert_eq!(w.cluster_ep(n.0), EpId(ep));
+                }
+                Side::Booster(n) => {
+                    prop_assert!(ep >= n_cluster);
+                    prop_assert_eq!(w.booster_ep(n.0), EpId(ep));
+                }
+            }
+        }
+        sim.run().assert_completed();
+    }
+
+    /// Every transfer completes, counts its bytes exactly once, and a
+    /// bridged transfer can never beat the slower of its two legs'
+    /// serialization floors.
+    #[test]
+    fn bridged_transfers_respect_physics(
+        bytes in 1u64..(32 << 20),
+        c in 0u32..4,
+        b in 0u32..27,
+    ) {
+        let mut sim = Simulation::new(2);
+        let ctx = sim.handle();
+        let w = machine(&ctx, 4, 2, 3);
+        let handle = CbpWireHandle(w.clone());
+        let src = w.cluster_ep(c);
+        let dst = w.booster_ep(b);
+        let h = sim.spawn("x", async move {
+            handle.transfer(src, dst, bytes).await.unwrap().elapsed
+        });
+        sim.run().assert_completed();
+        let elapsed = h.try_result().unwrap().as_secs_f64();
+        // Floor: the payload must fully cross the slower fabric at least
+        // once (6.8 GB/s IB leg).
+        let floor = bytes as f64 / 6.8e9;
+        prop_assert!(elapsed >= floor, "elapsed {elapsed} vs floor {floor}");
+        let traffic = w.bridged_traffic();
+        prop_assert_eq!(traffic.messages, 1);
+        prop_assert_eq!(traffic.bytes, bytes);
+        // Per-BI accounting adds up to the payload.
+        let per_bi: u64 = w.bi_traffic().iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(per_bi, bytes);
+    }
+
+    /// Concurrent bridged flows all complete and the per-BI accounting
+    /// still adds up.
+    #[test]
+    fn many_flows_account_exactly(
+        flows in prop::collection::vec((0u32..4, 0u32..27, 1u64..(4 << 20)), 1..12),
+    ) {
+        let mut sim = Simulation::new(3);
+        let ctx = sim.handle();
+        let w = machine(&ctx, 4, 2, 3);
+        for (i, &(c, b, bytes)) in flows.iter().enumerate() {
+            let handle = CbpWireHandle(w.clone());
+            let src = w.cluster_ep(c);
+            let dst = w.booster_ep(b);
+            sim.spawn(format!("f{i}"), async move {
+                handle.transfer(src, dst, bytes).await.unwrap();
+            });
+        }
+        sim.run().assert_completed();
+        let total: u64 = flows.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(w.bridged_traffic().bytes, total);
+        let per_bi: u64 = w.bi_traffic().iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(per_bi, total);
+    }
+}

@@ -1,0 +1,60 @@
+//! # deep-core — the DEEP cluster-booster platform library
+//!
+//! The paper's contribution as an adoptable API (all other `deep-*`
+//! crates are the substrates it assembles):
+//!
+//! * [`config::DeepConfig`] — machine description with presets, including
+//!   the 128-CN / 512-BN prototype of the DEEP project;
+//! * [`machine::DeepMachine`] — a live machine: InfiniBand cluster +
+//!   EXTOLL booster + booster interfaces + a global-MPI universe over the
+//!   Cluster–Booster Protocol, with the booster pre-registered as a
+//!   spawnable pool and a generic offload server installed;
+//! * [`baselines`] — the architectures the paper argues against: a
+//!   homogeneous cluster and a PCIe-accelerated cluster;
+//! * [`coupled`] — the coupled multi-physics proxy application running on
+//!   all three architectures (experiment F10);
+//! * [`report`] — Markdown/JSON tables used by the figure-regeneration
+//!   binaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deep_core::{DeepConfig, DeepMachine, BOOSTER_POOL, OFFLOAD_SERVER};
+//! use deep_simkit::Simulation;
+//!
+//! let mut sim = Simulation::new(42);
+//! let machine = DeepMachine::build(&sim.handle(), DeepConfig::small());
+//! machine.launch_cluster_app("hello", |mpi| {
+//!     Box::pin(async move {
+//!         let world = mpi.world().clone();
+//!         // Spawn the whole booster and tear it down again.
+//!         let inter = mpi
+//!             .comm_spawn(&world, OFFLOAD_SERVER, 8, BOOSTER_POOL, 0)
+//!             .await
+//!             .unwrap();
+//!         assert_eq!(inter.remote_size(), 8);
+//!         let off = deep_ompss::Offloader::new(inter);
+//!         let block = deep_ompss::booster_block(mpi.rank(), mpi.size(), 8);
+//!         off.shutdown(&mpi, block).await;
+//!     })
+//! });
+//! sim.run().assert_completed();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod coupled;
+pub mod machine;
+pub mod report;
+pub mod resilience;
+
+pub use baselines::{AcceleratedCluster, AcceleratedNode};
+pub use config::DeepConfig;
+pub use coupled::{
+    run_on_accelerated, run_on_deep, run_on_pure_cluster, CoupledParams, CoupledReport,
+};
+pub use machine::{DeepMachine, BOOSTER_POOL, OFFLOAD_SERVER};
+pub use resilience::{daly_optimum, mean_efficiency, simulate_run, ResilienceOutcome, ResilienceParams};
+pub use report::{fmt_bytes, fmt_f, Table};

@@ -1,0 +1,181 @@
+//! Assembly of a complete DEEP machine: InfiniBand cluster + EXTOLL
+//! booster + booster interfaces + a global-MPI universe over the
+//! Cluster–Booster Protocol.
+
+use std::rc::Rc;
+
+use deep_cbp::{CbpConfig, CbpWire, CbpWireHandle};
+use deep_fabric::{ExtollFabric, IbFabric};
+use deep_ompss::offload_server;
+use deep_psmpi::{launch_world, EpId, LocalBoxFuture, MpiCtx, Universe};
+use deep_simkit::{ProcHandle, Sim};
+
+use crate::config::DeepConfig;
+
+/// Command name under which the generic offload server is registered.
+pub const OFFLOAD_SERVER: &str = "deep-offload-server";
+
+/// Name of the booster endpoint pool.
+pub const BOOSTER_POOL: &str = "booster";
+
+/// A live DEEP machine inside one simulation.
+pub struct DeepMachine {
+    sim: Sim,
+    config: DeepConfig,
+    cbp: Rc<CbpWire>,
+    universe: Rc<Universe>,
+}
+
+impl DeepMachine {
+    /// Build the machine: fabrics, bridge, universe, booster pool, and the
+    /// generic offload server registration.
+    pub fn build(sim: &Sim, config: DeepConfig) -> DeepMachine {
+        let n_booster = config.n_booster();
+        assert!(config.n_bi >= 1 && config.n_bi <= n_booster);
+        let ib = Rc::new(IbFabric::new(sim, config.n_cluster + config.n_bi));
+        let mut extoll_fabric = ExtollFabric::new(sim, config.booster_dims);
+        if config.booster_link_error_rate > 0.0 {
+            extoll_fabric = extoll_fabric.with_fault_model(deep_fabric::FaultModel {
+                segment_error_rate: config.booster_link_error_rate,
+                max_retries: 32,
+            });
+        }
+        let extoll = Rc::new(extoll_fabric);
+        // Spread BI entry points evenly over the torus.
+        let stride = (n_booster / config.n_bi).max(1);
+        let bis = (0..config.n_bi)
+            .map(|i| (config.n_cluster + i, (i * stride) % n_booster))
+            .collect();
+        let cbp = CbpWire::new(
+            sim,
+            ib,
+            extoll,
+            CbpConfig::new(config.n_cluster, n_booster, bis),
+        );
+        let universe = Universe::new(
+            sim,
+            Rc::new(CbpWireHandle(cbp.clone())),
+            cbp.num_endpoints() as usize,
+            config.mpi,
+        );
+        universe.add_pool(
+            BOOSTER_POOL,
+            (0..n_booster).map(|j| cbp.booster_ep(j)).collect(),
+        );
+        universe.register_app(OFFLOAD_SERVER, offload_server(config.booster_node.clone()));
+        DeepMachine {
+            sim: sim.clone(),
+            config,
+            cbp,
+            universe,
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &DeepConfig {
+        &self.config
+    }
+
+    /// The cluster-booster bridge (traffic statistics live here).
+    pub fn cbp(&self) -> &Rc<CbpWire> {
+        &self.cbp
+    }
+
+    /// The global-MPI universe.
+    pub fn universe(&self) -> &Rc<Universe> {
+        &self.universe
+    }
+
+    /// Endpoints of the cluster nodes.
+    pub fn cluster_eps(&self) -> Vec<EpId> {
+        (0..self.config.n_cluster)
+            .map(|i| self.cbp.cluster_ep(i))
+            .collect()
+    }
+
+    /// Register an additional application for `comm_spawn`.
+    pub fn register_app(&self, name: &str, f: deep_psmpi::universe::AppFn) {
+        self.universe.register_app(name, f);
+    }
+
+    /// Launch the cluster-side application across all cluster nodes
+    /// (the `mpiexec` analogue of slide 21's `main()` part).
+    pub fn launch_cluster_app(
+        &self,
+        name: &str,
+        f: impl Fn(MpiCtx) -> LocalBoxFuture<'static, ()> + 'static,
+    ) -> Vec<ProcHandle<()>> {
+        launch_world(&self.universe, name, self.cluster_eps(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_ompss::{booster_block, OffloadSpec, Offloader};
+    use deep_psmpi::{ReduceOp, Value};
+    use deep_simkit::Simulation;
+
+    #[test]
+    fn machine_builds_and_boots() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let m = DeepMachine::build(&ctx, DeepConfig::small());
+        assert_eq!(m.cluster_eps().len(), 4);
+        assert_eq!(m.universe().pool_available(BOOSTER_POOL), 8);
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn end_to_end_offload_on_the_small_machine() {
+        let mut sim = Simulation::new(2);
+        let ctx = sim.handle();
+        let m = DeepMachine::build(&ctx, DeepConfig::small());
+        let cbp = m.cbp().clone();
+        m.launch_cluster_app("main", move |mpi| {
+            Box::pin(async move {
+                let world = mpi.world().clone();
+                // Spawn the whole booster (slide 21: collective spawn of
+                // the highly scalable code part).
+                let inter = mpi
+                    .comm_spawn(&world, OFFLOAD_SERVER, 8, BOOSTER_POOL, 0)
+                    .await
+                    .expect("booster spawn");
+                let off = Offloader::new(inter);
+                let block = booster_block(mpi.rank(), mpi.size(), 8);
+                let spec = OffloadSpec {
+                    in_bytes: 256 << 10,
+                    out_bytes: 256 << 10,
+                    kernel: deep_hw::KernelProfile::stencil2d(1 << 20),
+                    cores: 60,
+                    iters: 4,
+                    internal_msg_bytes: 1024,
+                };
+                off.run(&mpi, &spec, block.clone()).await;
+                // A cluster-side collective still works afterwards.
+                let s = mpi
+                    .allreduce(&world, ReduceOp::Sum, Value::U64(1), 8)
+                    .await;
+                assert_eq!(s.as_u64(), 4);
+                off.shutdown(&mpi, block).await;
+            })
+        });
+        sim.run().assert_completed();
+        let traffic = cbp.bridged_traffic();
+        assert!(traffic.bytes >= 8 * (512 << 10), "payload crossed bridge");
+    }
+
+    #[test]
+    fn prototype_machine_builds() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let m = DeepMachine::build(&ctx, DeepConfig::prototype());
+        assert_eq!(m.universe().pool_available(BOOSTER_POOL), 512);
+        sim.run().assert_completed();
+    }
+}

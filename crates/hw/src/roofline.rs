@@ -1,0 +1,193 @@
+//! Roofline execution-time model.
+//!
+//! A kernel is characterised by the work it does — floating-point
+//! operations and bytes moved to/from memory — plus an efficiency factor
+//! describing how close a tuned implementation gets to peak. Execution
+//! time on a node is the *maximum* of compute time and memory time
+//! (perfect overlap assumption, standard roofline).
+
+use deep_simkit::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeModel;
+
+/// Work profile of a computational kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Double-precision floating-point operations.
+    pub flops: f64,
+    /// Bytes moved between memory and cores.
+    pub bytes: f64,
+    /// Fraction of vector peak a tuned implementation reaches (0..=1].
+    pub compute_efficiency: f64,
+    /// Fraction of stream bandwidth reached (0..=1].
+    pub bandwidth_efficiency: f64,
+}
+
+impl KernelProfile {
+    /// A compute-bound, well-vectorised kernel (DGEMM-like).
+    pub fn dgemm(n: u64) -> KernelProfile {
+        let nf = n as f64;
+        KernelProfile {
+            flops: 2.0 * nf * nf * nf,
+            // Blocked: each element reused; traffic ~ 3 matrices a few times.
+            bytes: 8.0 * 4.0 * nf * nf,
+            compute_efficiency: 0.80,
+            bandwidth_efficiency: 0.85,
+        }
+    }
+
+    /// A memory-bound sparse matrix-vector multiply with `nnz` non-zeros.
+    pub fn spmv(nnz: u64) -> KernelProfile {
+        let nnzf = nnz as f64;
+        KernelProfile {
+            flops: 2.0 * nnzf,
+            // value + column index per non-zero, plus vector traffic.
+            bytes: 14.0 * nnzf,
+            compute_efficiency: 0.85,
+            bandwidth_efficiency: 0.60,
+        }
+    }
+
+    /// A 2-D 5-point Jacobi sweep over `cells` grid cells.
+    pub fn stencil2d(cells: u64) -> KernelProfile {
+        let c = cells as f64;
+        KernelProfile {
+            flops: 5.0 * c,
+            bytes: 16.0 * c, // read + write a double per cell, cached halo
+            compute_efficiency: 0.9,
+            bandwidth_efficiency: 0.8,
+        }
+    }
+
+    /// Arithmetic intensity in flops/byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops / self.bytes
+    }
+
+    /// Scale the amount of work (both flops and bytes) by a factor.
+    pub fn scaled(mut self, factor: f64) -> KernelProfile {
+        self.flops *= factor;
+        self.bytes *= factor;
+        self
+    }
+}
+
+/// Outcome of a roofline evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Wall time of the kernel.
+    pub time: SimDuration,
+    /// Sustained flop/s.
+    pub sustained_flops: f64,
+    /// True when limited by memory bandwidth rather than compute.
+    pub memory_bound: bool,
+}
+
+/// Execution time of `kernel` using `cores_used` cores of `node`,
+/// assuming vectorised code.
+pub fn exec_time(node: &NodeModel, kernel: &KernelProfile, cores_used: u32) -> RooflinePoint {
+    exec_time_with_mode(node, kernel, cores_used, true)
+}
+
+/// Execution time with explicit vectorisation flag. Non-vectorised code
+/// only reaches the node's `scalar_fraction_of_peak` — this is what makes
+/// offloading *serial* code to a booster node a bad idea, exactly as the
+/// paper argues.
+pub fn exec_time_with_mode(
+    node: &NodeModel,
+    kernel: &KernelProfile,
+    cores_used: u32,
+    vectorised: bool,
+) -> RooflinePoint {
+    assert!(cores_used >= 1 && cores_used <= node.cores, "core count");
+    assert!(kernel.flops >= 0.0 && kernel.bytes >= 0.0);
+    let peak = node.core.peak_flops() * cores_used as f64;
+    let eff = if vectorised {
+        kernel.compute_efficiency
+    } else {
+        node.core.scalar_fraction_of_peak
+    };
+    let compute_s = kernel.flops / (peak * eff);
+    // Memory bandwidth is shared by the whole node; a subset of cores can
+    // usually saturate a large fraction of it.
+    let bw = node.mem_bw_bps
+        * kernel.bandwidth_efficiency
+        * (cores_used as f64 / node.cores as f64).sqrt().min(1.0);
+    let memory_s = kernel.bytes / bw;
+    let secs = compute_s.max(memory_s);
+    RooflinePoint {
+        time: SimDuration::from_secs_f64(secs),
+        sustained_flops: if secs > 0.0 { kernel.flops / secs } else { 0.0 },
+        memory_bound: memory_s > compute_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeModel;
+
+    #[test]
+    fn dgemm_is_compute_bound_spmv_memory_bound() {
+        let node = NodeModel::xeon_cluster_node();
+        let dgemm = exec_time(&node, &KernelProfile::dgemm(2048), node.cores);
+        assert!(!dgemm.memory_bound);
+        let spmv = exec_time(&node, &KernelProfile::spmv(10_000_000), node.cores);
+        assert!(spmv.memory_bound);
+    }
+
+    #[test]
+    fn knc_beats_xeon_on_vector_code_loses_on_scalar() {
+        let xeon = NodeModel::xeon_cluster_node();
+        let knc = NodeModel::xeon_phi_knc();
+        let k = KernelProfile::dgemm(4096);
+        let t_xeon = exec_time(&xeon, &k, xeon.cores).time;
+        let t_knc = exec_time(&knc, &k, knc.cores).time;
+        assert!(
+            t_knc < t_xeon,
+            "KNC should win on vectorised DGEMM ({t_knc} vs {t_xeon})"
+        );
+        // Scalar code: the booster's in-order cores collapse.
+        let t_xeon_s = exec_time_with_mode(&xeon, &k, 1, false).time;
+        let t_knc_s = exec_time_with_mode(&knc, &k, 1, false).time;
+        assert!(
+            t_knc_s > t_xeon_s * 4,
+            "single in-order KNC core should be several times slower on scalar code"
+        );
+    }
+
+    #[test]
+    fn more_cores_never_slower() {
+        let node = NodeModel::xeon_phi_knc();
+        let k = KernelProfile::dgemm(1024);
+        let mut prev = exec_time(&node, &k, 1).time;
+        for c in 2..=node.cores {
+            let t = exec_time(&node, &k, c).time;
+            assert!(t <= prev, "time must be non-increasing in cores");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn sustained_never_exceeds_peak() {
+        for node in [
+            NodeModel::xeon_cluster_node(),
+            NodeModel::xeon_phi_knc(),
+            NodeModel::gpu_k20x(),
+        ] {
+            let k = KernelProfile::dgemm(4096);
+            let p = exec_time(&node, &k, node.cores);
+            assert!(p.sustained_flops <= node.peak_flops() * 1.0000001);
+        }
+    }
+
+    #[test]
+    fn intensity_and_scaling() {
+        let k = KernelProfile::spmv(1000);
+        assert!((k.intensity() - 2.0 / 14.0).abs() < 1e-12);
+        let k2 = k.scaled(3.0);
+        assert!((k2.flops - 3.0 * k.flops).abs() < 1e-9);
+        assert!((k2.intensity() - k.intensity()).abs() < 1e-12);
+    }
+}

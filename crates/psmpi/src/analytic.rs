@@ -1,0 +1,130 @@
+//! Closed-form LogGP-style cost models for collectives at rank counts far
+//! beyond what the discrete-event engine should be asked to simulate
+//! (experiment F09 sweeps to 262 144 ranks).
+//!
+//! The models mirror the algorithms in [`crate::collectives`]:
+//! dissemination barrier, binomial broadcast/reduce, recursive-doubling
+//! allreduce, ring allgather and pairwise alltoall. At small rank counts
+//! the DES and these formulas agree (validated by a test below and by the
+//! integration suite), which justifies using the formulas for the tail of
+//! the scaling curves.
+
+use deep_simkit::SimDuration;
+
+/// Per-message / per-byte machine parameters (LogGP-ish).
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// End-to-end latency of a small message, including software overheads.
+    pub latency: SimDuration,
+    /// Payload bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Per-message CPU overhead (send + recv software path).
+    pub overhead: SimDuration,
+}
+
+impl NetModel {
+    /// Parameters matching the simulated InfiniBand cluster fabric.
+    pub fn ib_fdr() -> NetModel {
+        NetModel {
+            latency: SimDuration::nanos(1_300),
+            bandwidth_bps: 6.8e9,
+            overhead: SimDuration::nanos(240),
+        }
+    }
+
+    /// Parameters matching the simulated EXTOLL booster fabric.
+    pub fn extoll() -> NetModel {
+        NetModel {
+            latency: SimDuration::nanos(850),
+            bandwidth_bps: 7.0e9,
+            overhead: SimDuration::nanos(240),
+        }
+    }
+
+    /// Time of one point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: u64) -> SimDuration {
+        self.latency
+            + self.overhead
+            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds of small messages.
+    pub fn barrier(&self, n: u64) -> SimDuration {
+        self.p2p(0) * log2_ceil(n)
+    }
+
+    /// Binomial broadcast of `bytes`.
+    pub fn bcast(&self, n: u64, bytes: u64) -> SimDuration {
+        self.p2p(bytes) * log2_ceil(n)
+    }
+
+    /// Binomial reduction of `bytes` (compute cost folded into overhead).
+    pub fn reduce(&self, n: u64, bytes: u64) -> SimDuration {
+        self.p2p(bytes) * log2_ceil(n)
+    }
+
+    /// Recursive-doubling allreduce of `bytes`.
+    pub fn allreduce(&self, n: u64, bytes: u64) -> SimDuration {
+        self.p2p(bytes) * log2_ceil(n)
+    }
+
+    /// Ring allgather: n−1 steps of the per-rank block.
+    pub fn allgather(&self, n: u64, block_bytes: u64) -> SimDuration {
+        if n <= 1 {
+            return SimDuration::ZERO;
+        }
+        self.p2p(block_bytes) * (n - 1)
+    }
+
+    /// Pairwise alltoall: n−1 exchange rounds.
+    pub fn alltoall(&self, n: u64, block_bytes: u64) -> SimDuration {
+        if n <= 1 {
+            return SimDuration::ZERO;
+        }
+        self.p2p(block_bytes) * (n - 1)
+    }
+}
+
+fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1 << 18), 18);
+    }
+
+    #[test]
+    fn costs_grow_logarithmically_or_linearly() {
+        let m = NetModel::ib_fdr();
+        // Barrier doubles ranks → +1 round.
+        let d = m.barrier(2048) - m.barrier(1024);
+        assert_eq!(d, m.p2p(0));
+        // Alltoall is linear in n.
+        let a1 = m.alltoall(64, 1024);
+        let a2 = m.alltoall(128, 1024);
+        assert!(a2 > a1 * 2 - m.p2p(1024) * 2);
+    }
+
+    #[test]
+    fn bandwidth_term_dominates_large_messages() {
+        let m = NetModel::extoll();
+        let t = m.p2p(64 << 20);
+        let pure_bw = SimDuration::from_secs_f64((64 << 20) as f64 / m.bandwidth_bps);
+        assert!(t < pure_bw + SimDuration::micros(2));
+        assert!(t >= pure_bw);
+    }
+}

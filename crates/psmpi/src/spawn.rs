@@ -1,0 +1,419 @@
+//! Process management: world launch and `MPI_Comm_spawn`.
+//!
+//! This is the heart of the paper's *global MPI* (slides 21, 26–29): the
+//! cluster application spawns its highly scalable code parts onto booster
+//! endpoints; the children receive their own `MPI_COMM_WORLD`, and the two
+//! worlds are joined by an inter-communicator. Spawn is a collective over
+//! the parent communicator, with the process-manager work done at `root`.
+//!
+//! The launch cost model is a binomial fan-out of control messages across
+//! the fabric (each launched ParaStation daemon forwards to half of its
+//! remaining subtree), plus a per-process exec/fork overhead — giving the
+//! `O(log p)` + per-process scaling measured by experiment F21.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use deep_simkit::{OneShot, ProcHandle};
+
+use crate::comm::{Comm, MpiCtx, TAG_INTERNAL_BASE};
+use crate::universe::Universe;
+use crate::value::Value;
+use crate::wire::{EpId, LocalBoxFuture};
+
+const TAG_SPAWN: u32 = TAG_INTERNAL_BASE + 64;
+
+/// Why a spawn failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The named pool has fewer free endpoints than `maxprocs`.
+    PoolExhausted {
+        /// Pool that was asked.
+        pool: String,
+        /// Endpoints requested.
+        requested: u32,
+        /// Endpoints actually free.
+        available: u32,
+    },
+    /// No application registered under the command name.
+    UnknownCommand(String),
+}
+
+/// Start an initial world (the `mpiexec` analogue): one rank process per
+/// endpoint, each running `f` with its [`MpiCtx`].
+pub fn launch_world(
+    uni: &Rc<Universe>,
+    name: &str,
+    eps: Vec<EpId>,
+    f: impl Fn(MpiCtx) -> LocalBoxFuture<'static, ()> + 'static,
+) -> Vec<ProcHandle<()>> {
+    let context = uni.alloc_context();
+    let members = Rc::new(eps);
+    let mut handles = Vec::with_capacity(members.len());
+    for rank in 0..members.len() as u32 {
+        let ctx = MpiCtx::new(
+            uni.clone(),
+            members[rank as usize],
+            Comm::intra(context, members.clone(), rank),
+            None,
+        );
+        let fut = f(ctx);
+        handles.push(uni.sim().spawn(format!("{name}[{rank}]"), fut));
+    }
+    handles
+}
+
+/// Recursive binomial fan-out of launch commands: `parent` starts
+/// `targets[lo]`, which then forwards to the first half of the remaining
+/// range while `parent` forwards to the second half.
+fn fanout_launch(
+    uni: Rc<Universe>,
+    parent: EpId,
+    targets: Rc<Vec<EpId>>,
+    lo: usize,
+    hi: usize,
+    started: Rc<Cell<usize>>,
+    all_started: OneShot<()>,
+) -> LocalBoxFuture<'static, ()> {
+    Box::pin(async move {
+        if lo >= hi {
+            return;
+        }
+        let head = targets[lo];
+        // Control message travels the real fabric.
+        uni.wire
+            .transfer(parent, head, 256)
+            .await
+            .expect("launch control message failed");
+        // The daemon forks/execs the process image.
+        uni.sim().sleep(uni.params.spawn_per_proc).await;
+        let n_started = started.get() + 1;
+        started.set(n_started);
+        if n_started == targets.len() {
+            all_started.set(());
+        }
+        let mid = lo + 1 + (hi - lo - 1) / 2;
+        // head forwards to (lo+1..mid); parent keeps (mid..hi).
+        let sub = uni.sim().spawn(
+            "spawn-fanout",
+            fanout_launch(
+                uni.clone(),
+                head,
+                targets.clone(),
+                lo + 1,
+                mid,
+                started.clone(),
+                all_started.clone(),
+            ),
+        );
+        fanout_launch(uni, parent, targets, mid, hi, started, all_started).await;
+        sub.await;
+    })
+}
+
+impl MpiCtx {
+    /// Collective `MPI_Comm_spawn`: start `maxprocs` instances of the
+    /// registered application `command` on endpoints drawn from `pool`,
+    /// returning the parent side of the inter-communicator.
+    ///
+    /// All members of `comm` must call; `root` performs the process-manager
+    /// work and broadcasts the outcome (matching the real API, where the
+    /// `command/argv/maxprocs/info` arguments are significant at root only).
+    pub async fn comm_spawn(
+        &self,
+        comm: &Comm,
+        command: &str,
+        maxprocs: u32,
+        pool: &str,
+        root: u32,
+    ) -> Result<Comm, SpawnError> {
+        let uni = self.universe().clone();
+        let mut outcome: Option<Result<(u64, Rc<Vec<EpId>>), SpawnError>> = None;
+
+        if comm.rank() == root {
+            outcome = Some(self.spawn_at_root(comm, command, maxprocs, pool).await);
+        }
+
+        // Broadcast the outcome: [status, inter_ctx, ep...] as a List.
+        let payload = match &outcome {
+            Some(Ok((ctx_id, eps))) => {
+                let mut items = vec![Value::U64(0), Value::U64(*ctx_id)];
+                items.extend(eps.iter().map(|e| Value::U64(e.0 as u64)));
+                Value::List(Rc::new(items))
+            }
+            Some(Err(_)) => Value::List(Rc::new(vec![Value::U64(1)])),
+            None => Value::Unit, // placeholder at non-root
+        };
+        let bytes = 16 + 8 * maxprocs as u64;
+        let decided = self.bcast(comm, root, payload, bytes).await;
+
+        let items = decided.as_list();
+        if items[0].as_u64() != 0 {
+            // Root already owns the precise error; reconstruct a generic
+            // one elsewhere.
+            return match outcome {
+                Some(Err(e)) => Err(e),
+                _ => Err(SpawnError::PoolExhausted {
+                    pool: pool.to_string(),
+                    requested: maxprocs,
+                    available: uni.pool_available(pool) as u32,
+                }),
+            };
+        }
+        let inter_ctx = items[1].as_u64();
+        let children: Rc<Vec<EpId>> = Rc::new(
+            items[2..]
+                .iter()
+                .map(|v| EpId(v.as_u64() as u32))
+                .collect(),
+        );
+        Ok(Comm::inter(
+            inter_ctx,
+            comm.members().clone(),
+            comm.rank(),
+            children,
+        ))
+    }
+
+    /// Root-side spawn work: allocate endpoints, launch daemons across the
+    /// fabric, start child rank processes, return (inter context, eps).
+    async fn spawn_at_root(
+        &self,
+        comm: &Comm,
+        command: &str,
+        maxprocs: u32,
+        pool: &str,
+    ) -> Result<(u64, Rc<Vec<EpId>>), SpawnError> {
+        let uni = self.universe().clone();
+        // Fixed process-manager negotiation cost.
+        self.sim().sleep(uni.params.spawn_base).await;
+
+        let app = {
+            let inner = uni.inner.borrow();
+            match inner.registry.get(command) {
+                Some(f) => f.clone(),
+                None => return Err(SpawnError::UnknownCommand(command.to_string())),
+            }
+        };
+        let children: Rc<Vec<EpId>> = {
+            let mut inner = uni.inner.borrow_mut();
+            let free = inner.pools.entry(pool.to_string()).or_default();
+            if (free.len() as u32) < maxprocs {
+                let available = free.len() as u32;
+                return Err(SpawnError::PoolExhausted {
+                    pool: pool.to_string(),
+                    requested: maxprocs,
+                    available,
+                });
+            }
+            Rc::new(free.drain(..maxprocs as usize).collect())
+        };
+
+        // Fan the launch commands out across the fabric.
+        let started: OneShot<()> = OneShot::new(self.sim());
+        let counter = Rc::new(Cell::new(0usize));
+        let fan = self.sim().spawn(
+            "spawn-fanout-root",
+            fanout_launch(
+                uni.clone(),
+                self.ep(),
+                children.clone(),
+                0,
+                children.len(),
+                counter,
+                started.clone(),
+            ),
+        );
+        started.wait().await;
+        fan.await;
+
+        // Wire up the child world and the inter-communicator.
+        let child_world_ctx = uni.alloc_context();
+        let inter_ctx = uni.alloc_context();
+        let parent_members = comm.members().clone();
+        let parent_rank_of_root = comm.rank();
+        for (i, &ep) in children.iter().enumerate() {
+            let child_world = Comm::intra(child_world_ctx, children.clone(), i as u32);
+            let parent_inter = Comm::inter(
+                inter_ctx,
+                children.clone(),
+                i as u32,
+                parent_members.clone(),
+            );
+            let ctx = MpiCtx::new(uni.clone(), ep, child_world, Some(parent_inter));
+            let fut = app(ctx);
+            uni.sim().spawn(format!("{command}[{i}]"), fut);
+        }
+        let _ = parent_rank_of_root;
+        // Children acknowledge startup to the root (modelled as one
+        // aggregated control message from the first child).
+        uni.wire
+            .transfer(children[0], self.ep(), 128)
+            .await
+            .expect("spawn ack failed");
+        let _ = TAG_SPAWN;
+        Ok((inter_ctx, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::MpiParams;
+    use crate::value::ReduceOp;
+    use crate::wire::IdealWire;
+    use deep_simkit::{Sim, SimDuration, Simulation};
+
+    fn universe(sim: &Sim, n: usize) -> Rc<Universe> {
+        let wire = Rc::new(IdealWire::new(sim, SimDuration::micros(1), 5e9));
+        Universe::new(sim, wire, n, MpiParams::default())
+    }
+
+    #[test]
+    fn spawned_children_get_their_own_world_and_parent_intercomm() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let uni = universe(&ctx, 12);
+        // Endpoints 0..3 = parent "cluster", 4..11 = "booster" pool.
+        uni.add_pool("booster", (4..12).map(EpId).collect());
+
+        // Child program: allreduce ranks in the child world; rank 0 sends
+        // the total and the world size to parent root over the intercomm.
+        uni.register_app(
+            "hscp",
+            Rc::new(|m: MpiCtx| {
+                Box::pin(async move {
+                    let world = m.world().clone();
+                    assert!(m.parent().is_some(), "child must see a parent");
+                    let total = m
+                        .allreduce(&world, ReduceOp::Sum, Value::U64(m.rank() as u64), 8)
+                        .await;
+                    if m.rank() == 0 {
+                        let parent = m.parent().unwrap().clone();
+                        m.send_val(&parent, 0, 7, Value::U64(total.as_u64() * 100 + m.size() as u64))
+                            .await;
+                    }
+                })
+            }),
+        );
+
+        let parent = |m: MpiCtx| -> LocalBoxFuture<'static, ()> {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let inter = m
+                    .comm_spawn(&world, "hscp", 8, "booster", 0)
+                    .await
+                    .expect("spawn succeeds");
+                assert_eq!(inter.remote_size(), 8);
+                assert!(inter.is_inter());
+                if m.rank() == 0 {
+                    let msg = m.recv(&inter, Some(0), Some(7)).await;
+                    // Sum of 0..8 = 28; size 8.
+                    assert_eq!(msg.value.as_u64(), 28 * 100 + 8);
+                }
+                m.barrier(&world).await;
+            })
+        };
+        let handles = launch_world(&uni, "cluster", (0..4).map(EpId).collect(), parent);
+        sim.run().assert_completed();
+        for h in handles {
+            assert!(h.is_finished());
+        }
+        // The pool was drained.
+        assert_eq!(uni.pool_available("booster"), 0);
+    }
+
+    #[test]
+    fn spawn_fails_cleanly_when_pool_exhausted() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let uni = universe(&ctx, 6);
+        uni.add_pool("booster", vec![EpId(4), EpId(5)]);
+        uni.register_app("hscp", Rc::new(|_m| Box::pin(async {})));
+        let handles = launch_world(&uni, "cluster", (0..2).map(EpId).collect(), |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let err = m
+                    .comm_spawn(&world, "hscp", 4, "booster", 0)
+                    .await
+                    .unwrap_err();
+                match err {
+                    SpawnError::PoolExhausted {
+                        requested,
+                        available,
+                        ..
+                    } => {
+                        assert_eq!(requested, 4);
+                        // Non-root ranks may not know the precise count;
+                        // root must.
+                        if m.rank() == 0 {
+                            assert_eq!(available, 2);
+                        }
+                    }
+                    other => panic!("unexpected error {other:?}"),
+                }
+            })
+        });
+        sim.run().assert_completed();
+        for h in handles {
+            assert!(h.is_finished());
+        }
+        // Failed spawn must not leak pool slots.
+        assert_eq!(uni.pool_available("booster"), 2);
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let uni = universe(&ctx, 4);
+        uni.add_pool("booster", vec![EpId(2), EpId(3)]);
+        launch_world(&uni, "cluster", vec![EpId(0)], |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let err = m
+                    .comm_spawn(&world, "nope", 1, "booster", 0)
+                    .await
+                    .unwrap_err();
+                assert_eq!(err, SpawnError::UnknownCommand("nope".into()));
+            })
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn spawn_cost_grows_gently_with_process_count() {
+        fn spawn_time(nchildren: u32) -> u64 {
+            let mut sim = Simulation::new(1);
+            let ctx = sim.handle();
+            let uni = universe(&ctx, 2 + nchildren as usize);
+            uni.add_pool("booster", (2..2 + nchildren).map(EpId).collect());
+            uni.register_app("hscp", Rc::new(|_m| Box::pin(async {})));
+            let out = Rc::new(Cell::new(0u64));
+            let out2 = out.clone();
+            launch_world(&uni, "cluster", vec![EpId(0)], move |m| {
+                let out = out2.clone();
+                Box::pin(async move {
+                    let world = m.world().clone();
+                    let t0 = m.sim().now();
+                    m.comm_spawn(&world, "hscp", nchildren, "booster", 0)
+                        .await
+                        .unwrap();
+                    out.set((m.sim().now() - t0).as_nanos());
+                })
+            });
+            sim.run().assert_completed();
+            out.get()
+        }
+
+        let t16 = spawn_time(16);
+        let t256 = spawn_time(256);
+        assert!(t256 > t16, "more processes must cost more");
+        // Binomial fan-out: 16x the processes should be far less than 16x
+        // the time (the per-proc exec happens in parallel subtrees).
+        assert!(
+            t256 < t16 * 8,
+            "fan-out must be sublinear: t16={t16} t256={t256}"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Message payloads and reduction operators.
+//!
+//! The simulator separates *cost* (the byte count a message charges to the
+//! fabric) from *content* (a [`Value`]). Carrying real values lets the
+//! test suite verify that collectives and offloaded kernels compute
+//! correct results, not just plausible timings.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A message payload. Cloning is cheap (large payloads are `Rc`-shared).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// No content (pure-cost message).
+    Unit,
+    /// A single unsigned integer.
+    U64(u64),
+    /// A single double.
+    F64(f64),
+    /// A shared vector of doubles.
+    VecF64(Rc<Vec<f64>>),
+    /// Raw bytes.
+    Bytes(Rc<Vec<u8>>),
+    /// A list of values (used by gather-style collectives).
+    List(Rc<Vec<Value>>),
+}
+
+impl Value {
+    /// Wrap a vector of doubles.
+    pub fn vec(v: Vec<f64>) -> Value {
+        Value::VecF64(Rc::new(v))
+    }
+
+    /// Extract a `u64`, panicking on type mismatch.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::U64(v) => *v,
+            other => panic!("expected U64, got {other:?}"),
+        }
+    }
+
+    /// Extract an `f64`, panicking on type mismatch.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    /// Borrow the vector payload, panicking on type mismatch.
+    pub fn as_vec(&self) -> &[f64] {
+        match self {
+            Value::VecF64(v) => v,
+            other => panic!("expected VecF64, got {other:?}"),
+        }
+    }
+
+    /// Borrow the list payload, panicking on type mismatch.
+    pub fn as_list(&self) -> &[Value] {
+        match self {
+            Value::List(v) => v,
+            other => panic!("expected List, got {other:?}"),
+        }
+    }
+
+    /// A reasonable wire size for this payload, used when the caller does
+    /// not specify an explicit byte count.
+    pub fn natural_bytes(&self) -> u64 {
+        match self {
+            Value::Unit => 0,
+            Value::U64(_) | Value::F64(_) => 8,
+            Value::VecF64(v) => 8 * v.len() as u64,
+            Value::Bytes(b) => b.len() as u64,
+            Value::List(l) => l.iter().map(Value::natural_bytes).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::U64(v) => write!(f, "{v}u64"),
+            Value::F64(v) => write!(f, "{v}f64"),
+            Value::VecF64(v) => write!(f, "f64[{}]", v.len()),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::List(l) => write!(f, "list[{}]", l.len()),
+        }
+    }
+}
+
+/// Reduction operators for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    fn fold_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    fn fold_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// Combine two payloads elementwise. Panics on shape mismatch.
+    pub fn combine(self, a: &Value, b: &Value) -> Value {
+        match (a, b) {
+            (Value::Unit, Value::Unit) => Value::Unit,
+            (Value::U64(x), Value::U64(y)) => Value::U64(self.fold_u64(*x, *y)),
+            (Value::F64(x), Value::F64(y)) => Value::F64(self.fold_f64(*x, *y)),
+            (Value::VecF64(x), Value::VecF64(y)) => {
+                assert_eq!(x.len(), y.len(), "reduce on mismatched vector lengths");
+                Value::VecF64(Rc::new(
+                    x.iter().zip(y.iter()).map(|(&p, &q)| self.fold_f64(p, q)).collect(),
+                ))
+            }
+            (p, q) => panic!("cannot reduce {p:?} with {q:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_scalars() {
+        assert_eq!(ReduceOp::Sum.combine(&Value::F64(1.5), &Value::F64(2.5)), Value::F64(4.0));
+        assert_eq!(ReduceOp::Max.combine(&Value::U64(3), &Value::U64(9)), Value::U64(9));
+        assert_eq!(ReduceOp::Min.combine(&Value::U64(3), &Value::U64(9)), Value::U64(3));
+        assert_eq!(ReduceOp::Prod.combine(&Value::F64(3.0), &Value::F64(4.0)), Value::F64(12.0));
+    }
+
+    #[test]
+    fn combine_vectors_elementwise() {
+        let a = Value::vec(vec![1.0, 2.0, 3.0]);
+        let b = Value::vec(vec![10.0, 20.0, 30.0]);
+        assert_eq!(
+            ReduceOp::Sum.combine(&a, &b),
+            Value::vec(vec![11.0, 22.0, 33.0])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched vector lengths")]
+    fn combine_mismatched_lengths_panics() {
+        let a = Value::vec(vec![1.0]);
+        let b = Value::vec(vec![1.0, 2.0]);
+        let _ = ReduceOp::Sum.combine(&a, &b);
+    }
+
+    #[test]
+    fn natural_sizes() {
+        assert_eq!(Value::Unit.natural_bytes(), 0);
+        assert_eq!(Value::U64(1).natural_bytes(), 8);
+        assert_eq!(Value::vec(vec![0.0; 10]).natural_bytes(), 80);
+        let list = Value::List(Rc::new(vec![Value::U64(1), Value::vec(vec![0.0; 2])]));
+        assert_eq!(list.natural_bytes(), 24);
+    }
+}

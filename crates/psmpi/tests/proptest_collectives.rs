@@ -1,0 +1,161 @@
+//! Property-based tests: every collective must compute exactly what a
+//! sequential reference computes, for arbitrary group sizes, roots and
+//! payloads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use deep_psmpi::{launch_world, EpId, IdealWire, MpiCtx, MpiParams, ReduceOp, Universe, Value};
+use deep_simkit::{SimDuration, Simulation};
+use proptest::prelude::*;
+
+fn run_ranks<T: Clone + 'static>(
+    n: u32,
+    f: impl Fn(MpiCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>> + 'static,
+) -> Vec<T> {
+    let mut sim = Simulation::new(9);
+    let ctx = sim.handle();
+    let wire = Rc::new(IdealWire::new(&ctx, SimDuration::micros(1), 5e9));
+    let uni = Universe::new(&ctx, wire, n as usize, MpiParams::default());
+    let results: Rc<RefCell<Vec<Option<T>>>> = Rc::new(RefCell::new(vec![None; n as usize]));
+    let r2 = results.clone();
+    let f = Rc::new(f);
+    launch_world(&uni, "t", (0..n).map(EpId).collect(), move |m| {
+        let results = r2.clone();
+        let f = f.clone();
+        Box::pin(async move {
+            let rank = m.rank() as usize;
+            let v = f(m).await;
+            results.borrow_mut()[rank] = Some(v);
+        })
+    });
+    sim.run().assert_completed();
+    let out = results
+        .borrow_mut()
+        .iter_mut()
+        .map(|v| v.take().unwrap())
+        .collect();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// allreduce(Sum) of random per-rank vectors equals the elementwise sum.
+    #[test]
+    fn allreduce_matches_reference(
+        n in 1u32..12,
+        len in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed + r as u64 * 31 + i as u64 * 7) % 1000) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<f64> = (0..len)
+            .map(|i| data.iter().map(|v| v[i]).sum())
+            .collect();
+        let data2 = data.clone();
+        let res = run_ranks(n, move |m| {
+            let mine = data2[m.rank() as usize].clone();
+            Box::pin(async move {
+                let world = m.world().clone();
+                m.allreduce(&world, ReduceOp::Sum, Value::vec(mine), 8 * len as u64)
+                    .await
+            })
+        });
+        for v in res {
+            let got = v.as_vec();
+            for (g, e) in got.iter().zip(expect.iter()) {
+                prop_assert!((g - e).abs() < 1e-9 * e.abs().max(1.0));
+            }
+        }
+    }
+
+    /// bcast from an arbitrary root delivers the root's exact vector.
+    #[test]
+    fn bcast_any_root(n in 1u32..12, root_pick in 0u32..12, len in 1usize..16) {
+        let root = root_pick % n;
+        let res = run_ranks(n, move |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let payload = if m.rank() == root {
+                    Value::vec((0..len).map(|i| i as f64 + 0.5).collect())
+                } else {
+                    Value::Unit
+                };
+                m.bcast(&world, root, payload, 8 * len as u64).await
+            })
+        });
+        let expect: Vec<f64> = (0..len).map(|i| i as f64 + 0.5).collect();
+        for v in res {
+            prop_assert_eq!(v.as_vec(), &expect[..]);
+        }
+    }
+
+    /// gather at an arbitrary root collects rank-indexed values.
+    #[test]
+    fn gather_any_root(n in 1u32..12, root_pick in 0u32..12) {
+        let root = root_pick % n;
+        let res = run_ranks(n, move |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                m.gather(&world, root, Value::U64(m.rank() as u64 * 3 + 1), 8).await
+            })
+        });
+        for (r, v) in res.iter().enumerate() {
+            if r as u32 == root {
+                let vals: Vec<u64> =
+                    v.as_ref().unwrap().iter().map(|x| x.as_u64()).collect();
+                prop_assert_eq!(vals, (0..n as u64).map(|x| x * 3 + 1).collect::<Vec<_>>());
+            } else {
+                prop_assert!(v.is_none());
+            }
+        }
+    }
+
+    /// alltoall is an exact transpose for arbitrary group sizes.
+    #[test]
+    fn alltoall_transposes(n in 1u32..10) {
+        let res = run_ranks(n, move |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let blocks = (0..m.size())
+                    .map(|d| Value::U64((m.rank() as u64) << 16 | d as u64))
+                    .collect();
+                m.alltoall(&world, blocks, 8).await
+            })
+        });
+        for (r, blocks) in res.iter().enumerate() {
+            for (s, v) in blocks.iter().enumerate() {
+                prop_assert_eq!(v.as_u64(), (s as u64) << 16 | r as u64);
+            }
+        }
+    }
+
+    /// comm_split groups are exact partitions and sub-collectives work.
+    #[test]
+    fn comm_split_partitions(n in 2u32..12, colors in 1u32..4) {
+        let res = run_ranks(n, move |m| {
+            Box::pin(async move {
+                let world = m.world().clone();
+                let color = m.rank() % colors;
+                let sub = m.comm_split(&world, color, m.rank()).await;
+                let total = m
+                    .allreduce(&sub, ReduceOp::Sum, Value::U64(1), 8)
+                    .await
+                    .as_u64();
+                (color, sub.size(), total)
+            })
+        });
+        for (r, &(color, size, total)) in res.iter().enumerate() {
+            let expect = (0..n).filter(|x| x % colors == r as u32 % colors).count() as u32;
+            prop_assert_eq!(color, r as u32 % colors);
+            prop_assert_eq!(size, expect);
+            prop_assert_eq!(total as u32, expect, "sub-communicator is isolated");
+        }
+    }
+}

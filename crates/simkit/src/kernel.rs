@@ -1,0 +1,226 @@
+//! The simulation kernel: event queue, process table and ready list.
+//!
+//! The kernel is deliberately separated from the public [`crate::Sim`]
+//! handle so that all mutation happens behind a single `RefCell`. The
+//! executor never holds a kernel borrow while polling a process, which is
+//! what allows process bodies to freely call back into the kernel (to
+//! spawn, sleep, or touch channels) without re-entrancy panics.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated process. Dense, never reused within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A future pinned on the heap, as stored in the process table.
+pub(crate) type BoxedProc = Pin<Box<dyn Future<Output = ()>>>;
+
+/// State of a process slot.
+pub(crate) enum ProcState {
+    /// Runnable or blocked; the future lives here except while being polled.
+    Alive(Option<BoxedProc>),
+    /// Ran to completion.
+    Done,
+    /// Killed before completion (fault injection, job abort).
+    Killed,
+}
+
+pub(crate) struct ProcSlot {
+    pub(crate) state: ProcState,
+    pub(crate) name: String,
+    /// Processes waiting on this one's completion.
+    pub(crate) join_waiters: Vec<ProcId>,
+    /// Set while the process is in the ready list to avoid duplicate polls.
+    pub(crate) queued: bool,
+}
+
+/// A timer entry in the event queue. Ordered by `(at, seq)` so that
+/// simultaneous events fire in the order they were scheduled — this is the
+/// cornerstone of reproducibility.
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    proc: ProcId,
+    /// Generation guard: a sleep that was cancelled (future dropped)
+    /// must not wake an unrelated later sleep of the same process.
+    token: u64,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Why [`crate::Simulation::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All processes finished and the event queue drained.
+    Completed,
+    /// The time horizon passed to `run_until` was reached.
+    HorizonReached,
+    /// Live processes remain but none can ever make progress.
+    /// Contains the names of the blocked processes (up to a small cap).
+    Deadlock(Vec<String>),
+}
+
+pub(crate) struct Kernel {
+    pub(crate) now: SimTime,
+    seq: u64,
+    timers: BinaryHeap<Timer>,
+    pub(crate) ready: VecDeque<ProcId>,
+    pub(crate) procs: Vec<ProcSlot>,
+    /// Currently polled process; valid only during a poll.
+    pub(crate) current: Option<ProcId>,
+    /// Number of slots still `Alive`.
+    pub(crate) live: usize,
+    /// Next sleep-token to hand out.
+    token_seq: u64,
+}
+
+impl Kernel {
+    pub(crate) fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            timers: BinaryHeap::with_capacity(1024),
+            ready: VecDeque::with_capacity(256),
+            procs: Vec::with_capacity(256),
+            current: None,
+            live: 0,
+            token_seq: 0,
+        }
+    }
+
+    /// Register a new process; it becomes runnable immediately.
+    pub(crate) fn add_proc(&mut self, name: String, fut: BoxedProc) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(ProcSlot {
+            state: ProcState::Alive(Some(fut)),
+            name,
+            join_waiters: Vec::new(),
+            queued: true,
+        });
+        self.live += 1;
+        self.ready.push_back(id);
+        id
+    }
+
+    /// The process being polled right now. Panics outside a poll: kernel
+    /// futures may only be awaited from inside simulation processes.
+    pub(crate) fn current_proc(&self) -> ProcId {
+        self.current
+            .expect("simkit future polled outside a simulation process")
+    }
+
+    /// Mark a process runnable (idempotent while already queued).
+    pub(crate) fn make_ready(&mut self, id: ProcId) {
+        let slot = &mut self.procs[id.0 as usize];
+        if matches!(slot.state, ProcState::Alive(_)) && !slot.queued {
+            slot.queued = true;
+            self.ready.push_back(id);
+        }
+    }
+
+    /// Schedule a wake-up for `proc` at absolute time `at`.
+    /// Returns the token guarding this timer.
+    pub(crate) fn schedule_wake(&mut self, at: SimTime, proc: ProcId) -> u64 {
+        debug_assert!(at >= self.now, "cannot schedule in the past");
+        self.seq += 1;
+        self.token_seq += 1;
+        let token = self.token_seq;
+        self.timers.push(Timer {
+            at,
+            seq: self.seq,
+            proc,
+            token,
+        });
+        token
+    }
+
+    /// Time of the earliest pending timer, if any.
+    pub(crate) fn next_timer_at(&self) -> Option<SimTime> {
+        self.timers.peek().map(|t| t.at)
+    }
+
+    /// Pop every timer due at the earliest pending instant, advancing `now`.
+    /// Wakes the owning processes in schedule order.
+    pub(crate) fn fire_next_timers(&mut self) {
+        let Some(at) = self.next_timer_at() else {
+            return;
+        };
+        self.now = at;
+        while self.timers.peek().is_some_and(|t| t.at == at) {
+            let t = self.timers.pop().unwrap();
+            // Tokens are currently always valid: sleeps are not cancelled
+            // out from under the kernel (futures re-check their deadline on
+            // poll, so a stale wake is at worst a spurious poll).
+            let _ = t.token;
+            self.make_ready(t.proc);
+        }
+    }
+
+    /// Mark `id` finished and wake its joiners. Returns the waiters.
+    pub(crate) fn finish_proc(&mut self, id: ProcId) {
+        let slot = &mut self.procs[id.0 as usize];
+        slot.state = ProcState::Done;
+        self.live -= 1;
+        let waiters = std::mem::take(&mut slot.join_waiters);
+        for w in waiters {
+            self.make_ready(w);
+        }
+    }
+
+    /// Forcibly terminate a process (drops its future). No-op if finished.
+    pub(crate) fn kill_proc(&mut self, id: ProcId) {
+        let slot = &mut self.procs[id.0 as usize];
+        if matches!(slot.state, ProcState::Alive(_)) {
+            slot.state = ProcState::Killed;
+            self.live -= 1;
+            let waiters = std::mem::take(&mut slot.join_waiters);
+            for w in waiters {
+                self.make_ready(w);
+            }
+        }
+    }
+
+    /// True if the process has terminated (normally or by kill).
+    pub(crate) fn is_finished(&self, id: ProcId) -> bool {
+        !matches!(self.procs[id.0 as usize].state, ProcState::Alive(_))
+    }
+
+    /// Names of processes that are alive but not runnable — the deadlock set.
+    pub(crate) fn blocked_proc_names(&self, cap: usize) -> Vec<String> {
+        self.procs
+            .iter()
+            .filter(|s| matches!(s.state, ProcState::Alive(_)) && !s.queued)
+            .map(|s| s.name.clone())
+            .take(cap)
+            .collect()
+    }
+}

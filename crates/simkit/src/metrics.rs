@@ -1,0 +1,275 @@
+//! Lightweight metrics: counters, log-2 bucket histograms, and time series.
+//!
+//! Registration uses string names (cold path); recording through the
+//! returned dense ids is allocation-free (hot path), following the
+//! integer-ids-over-strings idiom from the performance guides.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Dense handle to a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Dense handle to a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts 0.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile from bucket boundaries (upper bound of the
+    /// bucket containing the q-quantile sample).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// Registry of named metrics for one simulation.
+#[derive(Default)]
+pub struct Metrics {
+    counter_names: HashMap<String, CounterId>,
+    counters: Vec<u64>,
+    histogram_names: HashMap<String, HistogramId>,
+    histograms: Vec<Histogram>,
+    series: HashMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Get-or-create a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.counter_names.get(name) {
+            return id;
+        }
+        let id = CounterId(self.counters.len());
+        self.counters.push(0);
+        self.counter_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0] += v;
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Read a counter by handle.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Read a counter by name (0 if never registered).
+    pub fn counter_by_name(&self, name: &str) -> u64 {
+        self.counter_names
+            .get(name)
+            .map_or(0, |&id| self.counters[id.0])
+    }
+
+    /// Get-or-create a histogram.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(&id) = self.histogram_names.get(name) {
+            return id;
+        }
+        let id = HistogramId(self.histograms.len());
+        self.histograms.push(Histogram::default());
+        self.histogram_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        self.histograms[id.0].record(v);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&mut self, id: HistogramId, d: SimDuration) {
+        self.record(id, d.as_nanos());
+    }
+
+    /// Read a histogram by handle.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Read a histogram by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histogram_names
+            .get(name)
+            .map(|&id| &self.histograms[id.0])
+    }
+
+    /// Append a `(time, value)` point to a named series.
+    pub fn push_series(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().push((t, v));
+    }
+
+    /// Read a series by name.
+    pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// Iterate all counters as `(name, value)`, sorted by name.
+    pub fn all_counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counter_names
+            .iter()
+            .map(|(n, &id)| (n.clone(), self.counters[id.0]))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        let a = m.counter("msgs");
+        let b = m.counter("bytes");
+        m.inc(a);
+        m.add(b, 100);
+        m.add(b, 28);
+        assert_eq!(m.counter_value(a), 1);
+        assert_eq!(m.counter_by_name("bytes"), 128);
+        assert_eq!(m.counter_by_name("nonexistent"), 0);
+        // Re-registration returns the same id.
+        assert_eq!(m.counter("msgs"), a);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1110);
+        assert!((h.mean() - 1110.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        // q50 of 1..=1000 lives in the bucket [256,512) -> upper bound 512.
+        assert_eq!(q50, 512);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn series_append_and_read() {
+        let mut m = Metrics::new();
+        m.push_series("util", SimTime(10), 0.5);
+        m.push_series("util", SimTime(20), 0.7);
+        let s = m.series("util").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1], (SimTime(20), 0.7));
+        assert!(m.series("other").is_none());
+    }
+}

@@ -1,0 +1,477 @@
+//! Synchronization primitives for simulated processes: counting semaphore
+//! (with RAII guards), one-shot events, and barriers.
+//!
+//! All of these operate in zero virtual time; they sequence processes
+//! within an instant and are the building blocks for modelling contended
+//! resources (links, cores, DMA engines).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::kernel::ProcId;
+use crate::sim::Sim;
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemState {
+    permits: u64,
+    /// FIFO of (proc, permits wanted).
+    waiters: VecDeque<(ProcId, u64)>,
+}
+
+/// A counting semaphore with FIFO wake-up order.
+///
+/// FIFO matters: it makes contended-resource simulations fair and, more
+/// importantly, deterministic.
+#[derive(Clone)]
+pub struct Semaphore {
+    sim: Sim,
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with an initial number of permits.
+    pub fn new(sim: &Sim, permits: u64) -> Self {
+        Semaphore {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> u64 {
+        self.state.borrow().permits
+    }
+
+    /// Acquire `n` permits, suspending until available. Returns a guard
+    /// that releases them on drop.
+    pub async fn acquire_many(&self, n: u64) -> SemGuard {
+        AcquireFut {
+            sem: self,
+            n,
+            enqueued: false,
+        }
+        .await;
+        SemGuard {
+            sem: self.clone(),
+            n,
+            released: false,
+        }
+    }
+
+    /// Acquire one permit.
+    pub async fn acquire(&self) -> SemGuard {
+        self.acquire_many(1).await
+    }
+
+    /// Return `n` permits and wake eligible waiters in FIFO order.
+    pub fn release_many(&self, n: u64) {
+        let mut st = self.state.borrow_mut();
+        st.permits += n;
+        let mut to_wake = Vec::new();
+        // Strict FIFO: stop at the first waiter that still cannot be
+        // satisfied, even if later (smaller) requests could be. This
+        // prevents starvation of large requests.
+        while let Some(&(pid, want)) = st.waiters.front() {
+            if st.permits >= want {
+                st.permits -= want;
+                st.waiters.pop_front();
+                to_wake.push(pid);
+            } else {
+                break;
+            }
+        }
+        drop(st);
+        for pid in to_wake {
+            self.sim.make_ready(pid);
+        }
+    }
+}
+
+/// RAII guard returned by [`Semaphore::acquire`].
+pub struct SemGuard {
+    sem: Semaphore,
+    n: u64,
+    released: bool,
+}
+
+impl SemGuard {
+    /// Release early (drop also releases).
+    pub fn release(mut self) {
+        self.do_release();
+    }
+
+    fn do_release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.sem.release_many(self.n);
+        }
+    }
+}
+
+impl Drop for SemGuard {
+    fn drop(&mut self) {
+        self.do_release();
+    }
+}
+
+struct AcquireFut<'a> {
+    sem: &'a Semaphore,
+    n: u64,
+    enqueued: bool,
+}
+
+impl Future for AcquireFut<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut st = this.sem.state.borrow_mut();
+        if this.enqueued {
+            // We are woken only after release_many already granted our
+            // permits and removed us from the queue.
+            if st.waiters.iter().any(|&(p, _)| p == this.sem.sim.current_proc()) {
+                return Poll::Pending; // spurious wake while still queued
+            }
+            return Poll::Ready(());
+        }
+        if st.waiters.is_empty() && st.permits >= this.n {
+            st.permits -= this.n;
+            Poll::Ready(())
+        } else {
+            let me = this.sem.sim.current_proc();
+            st.waiters.push_back((me, this.n));
+            this.enqueued = true;
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OneShot event
+// ---------------------------------------------------------------------------
+
+struct OneShotState<T> {
+    value: Option<T>,
+    fired: bool,
+    waiters: Vec<ProcId>,
+}
+
+/// A one-shot event carrying a value. Multiple processes may wait; the
+/// value is cloned to each. Setting twice panics.
+pub struct OneShot<T: Clone> {
+    sim: Sim,
+    state: Rc<RefCell<OneShotState<T>>>,
+}
+
+impl<T: Clone> Clone for OneShot<T> {
+    fn clone(&self) -> Self {
+        OneShot {
+            sim: self.sim.clone(),
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T: Clone> OneShot<T> {
+    /// Create an unfired event.
+    pub fn new(sim: &Sim) -> Self {
+        OneShot {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(OneShotState {
+                value: None,
+                fired: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Fire the event, waking all waiters.
+    pub fn set(&self, value: T) {
+        let mut st = self.state.borrow_mut();
+        assert!(!st.fired, "OneShot::set called twice");
+        st.fired = true;
+        st.value = Some(value);
+        let waiters = std::mem::take(&mut st.waiters);
+        drop(st);
+        for w in waiters {
+            self.sim.make_ready(w);
+        }
+    }
+
+    /// True once fired.
+    pub fn is_set(&self) -> bool {
+        self.state.borrow().fired
+    }
+
+    /// Wait for the event; resolves immediately if already fired.
+    pub fn wait(&self) -> OneShotWait<'_, T> {
+        OneShotWait { event: self }
+    }
+}
+
+/// Future returned by [`OneShot::wait`].
+pub struct OneShotWait<'a, T: Clone> {
+    event: &'a OneShot<T>,
+}
+
+impl<T: Clone> Future for OneShotWait<'_, T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.event.state.borrow_mut();
+        if st.fired {
+            Poll::Ready(st.value.clone().expect("fired OneShot holds a value"))
+        } else {
+            let me = self.event.sim.current_proc();
+            if !st.waiters.contains(&me) {
+                st.waiters.push(me);
+            }
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<ProcId>,
+}
+
+/// A reusable barrier for a fixed number of parties.
+#[derive(Clone)]
+pub struct Barrier {
+    sim: Sim,
+    state: Rc<RefCell<BarrierState>>,
+}
+
+impl Barrier {
+    /// Create a barrier for `parties` processes.
+    pub fn new(sim: &Sim, parties: usize) -> Self {
+        assert!(parties > 0);
+        Barrier {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrive and wait for all parties. The last arriver releases everyone.
+    pub fn wait(&self) -> BarrierWait {
+        BarrierWait {
+            barrier: self.clone(),
+            gen: None,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    barrier: Barrier,
+    gen: Option<u64>,
+}
+
+impl Future for BarrierWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut st = this.barrier.state.borrow_mut();
+        match this.gen {
+            None => {
+                st.arrived += 1;
+                if st.arrived == st.parties {
+                    st.arrived = 0;
+                    st.generation += 1;
+                    let waiters = std::mem::take(&mut st.waiters);
+                    drop(st);
+                    for w in waiters {
+                        this.barrier.sim.make_ready(w);
+                    }
+                    Poll::Ready(())
+                } else {
+                    this.gen = Some(st.generation);
+                    let me = this.barrier.sim.current_proc();
+                    st.waiters.push(me);
+                    Poll::Pending
+                }
+            }
+            Some(g) => {
+                if st.generation > g {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn semaphore_serializes_access() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let sem = Semaphore::new(&ctx, 1);
+        let log: Rc<RefCell<Vec<(u64, usize, &'static str)>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let ctx = ctx.clone();
+            let sem = sem.clone();
+            let log = log.clone();
+            sim.spawn(format!("user{i}"), async move {
+                let g = sem.acquire().await;
+                log.borrow_mut().push((ctx.now().as_nanos(), i, "in"));
+                ctx.sleep(SimDuration::micros(1)).await;
+                log.borrow_mut().push((ctx.now().as_nanos(), i, "out"));
+                drop(g);
+            });
+        }
+        sim.run().assert_completed();
+        let l = log.borrow();
+        // Non-overlapping critical sections, FIFO order 0,1,2.
+        assert_eq!(
+            *l,
+            vec![
+                (0, 0, "in"),
+                (1_000, 0, "out"),
+                (1_000, 1, "in"),
+                (2_000, 1, "out"),
+                (2_000, 2, "in"),
+                (3_000, 2, "out"),
+            ]
+        );
+    }
+
+    #[test]
+    fn semaphore_fifo_prevents_large_request_starvation() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let sem = Semaphore::new(&ctx, 2);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        // holder takes both permits for 1us.
+        {
+            let (sem, ctx, order) = (sem.clone(), ctx.clone(), order.clone());
+            sim.spawn("holder", async move {
+                let g = sem.acquire_many(2).await;
+                order.borrow_mut().push("holder");
+                ctx.sleep(SimDuration::micros(1)).await;
+                drop(g);
+            });
+        }
+        // big wants 2 permits, queued first.
+        {
+            let (sem, ctx, order) = (sem.clone(), ctx.clone(), order.clone());
+            sim.spawn("big", async move {
+                ctx.sleep(SimDuration::nanos(10)).await;
+                let _g = sem.acquire_many(2).await;
+                order.borrow_mut().push("big");
+            });
+        }
+        // small wants 1, queued second; must NOT overtake big.
+        {
+            let (sem, ctx, order) = (sem.clone(), ctx.clone(), order.clone());
+            sim.spawn("small", async move {
+                ctx.sleep(SimDuration::nanos(20)).await;
+                let _g = sem.acquire().await;
+                order.borrow_mut().push("small");
+            });
+        }
+        sim.run().assert_completed();
+        assert_eq!(*order.borrow(), vec!["holder", "big", "small"]);
+    }
+
+    #[test]
+    fn oneshot_delivers_to_all_waiters() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let ev: OneShot<u32> = OneShot::new(&ctx);
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let ev = ev.clone();
+            handles.push(sim.spawn(format!("w{i}"), async move { ev.wait().await }));
+        }
+        let ctx2 = ctx.clone();
+        sim.spawn("setter", async move {
+            ctx2.sleep(SimDuration::micros(3)).await;
+            ev.set(77);
+        });
+        sim.run().assert_completed();
+        for h in handles {
+            assert_eq!(h.try_result(), Some(77));
+        }
+    }
+
+    #[test]
+    fn oneshot_wait_after_set_is_immediate() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let ev: OneShot<u8> = OneShot::new(&ctx);
+        ev.set(5);
+        let h = sim.spawn("late", async move { ev.wait().await });
+        sim.run().assert_completed();
+        assert_eq!(h.try_result(), Some(5));
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_arrival() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let bar = Barrier::new(&ctx, 3);
+        let mut handles = Vec::new();
+        for i in 0..3u64 {
+            let bar = bar.clone();
+            let ctx = ctx.clone();
+            handles.push(sim.spawn(format!("p{i}"), async move {
+                ctx.sleep(SimDuration::micros(i + 1)).await;
+                bar.wait().await;
+                ctx.now().as_micros()
+            }));
+        }
+        sim.run().assert_completed();
+        for h in handles {
+            // Everyone leaves at the last arrival time (3us).
+            assert_eq!(h.try_result(), Some(3));
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let bar = Barrier::new(&ctx, 2);
+        for i in 0..2u64 {
+            let bar = bar.clone();
+            let ctx = ctx.clone();
+            sim.spawn(format!("p{i}"), async move {
+                for round in 0..5u64 {
+                    ctx.sleep(SimDuration::micros(i * (round + 1) + 1)).await;
+                    bar.wait().await;
+                }
+            });
+        }
+        sim.run().assert_completed();
+    }
+}

@@ -1,0 +1,257 @@
+//! Virtual time for the simulation kernel.
+//!
+//! Simulated time is measured in integer **nanoseconds** since the start of
+//! the simulation. Using an integer representation keeps event ordering
+//! exact and the simulation bit-reproducible: there is no floating-point
+//! drift, and two events scheduled at the same instant are ordered by a
+//! monotone sequence number in the kernel.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start as a floating-point value (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this span.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span as a floating-point value (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction of two spans.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_nanos(self.0))
+    }
+}
+
+/// Render a nanosecond count with a human-friendly unit.
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 10_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 10_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::micros(3);
+        assert_eq!(t.as_nanos(), 3_000);
+        let t2 = t + SimDuration::nanos(500);
+        assert_eq!((t2 - t).as_nanos(), 500);
+        assert_eq!(t2.since(t).as_nanos(), 500);
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_consistent() {
+        assert_eq!(SimDuration::secs(1), SimDuration::millis(1_000));
+        assert_eq!(SimDuration::millis(1), SimDuration::micros(1_000));
+        assert_eq!(SimDuration::micros(1), SimDuration::nanos(1_000));
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::millis(1_500));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::micros(2) * 3, SimDuration::micros(6));
+        assert_eq!(SimDuration::micros(6) / 3, SimDuration::micros(2));
+        let total: SimDuration = (1..=4).map(SimDuration::nanos).sum();
+        assert_eq!(total, SimDuration::nanos(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn time_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime(1);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDuration::nanos(42)), "42ns");
+        assert_eq!(format!("{}", SimDuration::micros(42)), "42.000us");
+        assert_eq!(format!("{}", SimDuration::millis(42)), "42.000ms");
+        assert_eq!(format!("{}", SimDuration::secs(42)), "42.000s");
+    }
+}

@@ -1,0 +1,111 @@
+//! Timeout combinator: race a future against a virtual-time deadline.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::sim::{Sim, Sleep};
+use crate::time::SimDuration;
+
+/// Future returned by [`Sim::timeout`]: resolves to `Some(v)` if the
+/// inner future finishes before the deadline, `None` otherwise.
+pub struct Timeout<F> {
+    fut: Pin<Box<F>>,
+    deadline: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Option<F::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+            return Poll::Ready(Some(v));
+        }
+        // The inner future registered its wake-ups; also arm the deadline.
+        if Pin::new(&mut self.deadline).poll(cx).is_ready() {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    }
+}
+
+impl Sim {
+    /// Race `fut` against a deadline `d` of virtual time.
+    ///
+    /// If the deadline fires first the inner future is dropped —
+    /// half-completed protocol interactions behave exactly as if the
+    /// process had abandoned them (queued wake-ups become no-ops).
+    pub fn timeout<F: Future>(&self, d: SimDuration, fut: F) -> Timeout<F> {
+        Timeout {
+            fut: Box::pin(fut),
+            deadline: self.sleep(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::sync::OneShot;
+
+    #[test]
+    fn completes_before_deadline() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let h = sim.spawn("t", async move {
+            let inner = ctx.clone();
+            ctx.timeout(SimDuration::millis(1), async move {
+                inner.sleep(SimDuration::micros(10)).await;
+                42u32
+            })
+            .await
+        });
+        sim.run().assert_completed();
+        assert_eq!(h.try_result(), Some(Some(42)));
+    }
+
+    #[test]
+    fn deadline_fires_first() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let h = sim.spawn("t", async move {
+            let inner = ctx.clone();
+            let r = ctx
+                .timeout(SimDuration::micros(10), async move {
+                    inner.sleep(SimDuration::millis(1)).await;
+                    42u32
+                })
+                .await;
+            (r, ctx.now().as_micros())
+        });
+        sim.run().assert_completed();
+        let (r, t) = h.try_result().unwrap();
+        assert_eq!(r, None);
+        assert_eq!(t, 10, "gave up exactly at the deadline");
+    }
+
+    #[test]
+    fn timed_out_wait_does_not_wedge_the_event() {
+        // Waiting on a OneShot with a timeout, then the event fires later:
+        // the dropped waiter must not break the event for others.
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let ev: OneShot<u32> = OneShot::new(&ctx);
+        let ev2 = ev.clone();
+        let ctx2 = ctx.clone();
+        let impatient = sim.spawn("impatient", async move {
+            ctx2.timeout(SimDuration::micros(5), ev2.wait()).await
+        });
+        let ev3 = ev.clone();
+        let patient = sim.spawn("patient", async move { ev3.wait().await });
+        let ctx3 = ctx.clone();
+        sim.spawn("setter", async move {
+            ctx3.sleep(SimDuration::micros(100)).await;
+            ev.set(7);
+        });
+        sim.run().assert_completed();
+        assert_eq!(impatient.try_result(), Some(None));
+        assert_eq!(patient.try_result(), Some(7));
+    }
+}

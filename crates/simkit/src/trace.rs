@@ -1,0 +1,36 @@
+//! Optional event tracing for debugging simulated protocols.
+//!
+//! Disabled by default; when disabled, [`crate::Sim::trace`] does not even
+//! build its message string (it takes a closure).
+
+use crate::time::SimTime;
+
+pub(crate) struct Tracer {
+    enabled: bool,
+    events: Vec<(SimTime, String)>,
+}
+
+impl Tracer {
+    pub(crate) fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    pub(crate) fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, t: SimTime, msg: String) {
+        self.events.push((t, msg));
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<(SimTime, String)> {
+        std::mem::take(&mut self.events)
+    }
+}

@@ -1,0 +1,79 @@
+//! The coupled multi-physics proxy on three architectures — the paper's
+//! core architectural argument (slides 6–10) in one program: a complex
+//! `main()` part plus a highly scalable kernel, run on
+//!
+//!   1. a homogeneous Xeon cluster,
+//!   2. a conventional PCIe-accelerated cluster,
+//!   3. the DEEP cluster-booster machine.
+//!
+//! Run with: `cargo run --release --example coupled_simulation`
+
+use deep_core::{
+    fmt_bytes, fmt_f, run_on_accelerated, run_on_deep, run_on_pure_cluster, CoupledParams,
+    CoupledReport, DeepConfig, Table,
+};
+
+fn main() {
+    let params = CoupledParams::default();
+    println!(
+        "coupled proxy: {} steps, {} internal HSCP iterations per step,\n\
+         {} HSCP flops/step, halo {} per iteration per unit\n",
+        params.steps,
+        params.hscp_iters,
+        params.hscp_flops_total,
+        fmt_bytes(params.halo_bytes)
+    );
+
+    // Machines sized for comparable accelerator silicon: 64 KNC booster
+    // nodes (~64 TF) vs 48 GPUs (~63 TF) vs 16 plain Xeon nodes.
+    let deep_cfg = DeepConfig::medium(); // 16 CN + 4x4x4 booster
+    let reports: Vec<CoupledReport> = vec![
+        run_on_pure_cluster(1, 16, params),
+        run_on_accelerated(1, 16, params),
+        run_on_deep(1, deep_cfg, params),
+    ];
+
+    let mut t = Table::new(
+        "coupled",
+        "coupled proxy across architectures",
+        &[
+            "architecture",
+            "CN",
+            "acc units",
+            "time-to-solution",
+            "energy [kJ]",
+            "CPU<->acc msgs",
+            "CPU<->acc bytes",
+            "avg msg size",
+        ],
+    );
+    for r in &reports {
+        let avg = if r.acc_messages > 0 {
+            fmt_bytes(r.acc_bytes / r.acc_messages)
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            r.arch.clone(),
+            r.cluster_nodes.to_string(),
+            r.acc_units.to_string(),
+            format!("{}", r.elapsed),
+            fmt_f(r.energy_joules / 1e3),
+            r.acc_messages.to_string(),
+            fmt_bytes(r.acc_bytes),
+            avg,
+        ]);
+    }
+    t.print();
+
+    let deep = &reports[2];
+    let accel = &reports[1];
+    println!(
+        "cluster-booster vs accelerated cluster: {:.2}x time, {:.2}x energy,\n\
+         {:.1}x fewer CPU<->accelerator messages per unit",
+        accel.elapsed.as_secs_f64() / deep.elapsed.as_secs_f64(),
+        accel.energy_joules / deep.energy_joules,
+        (accel.acc_messages as f64 / accel.acc_units as f64)
+            / (deep.acc_messages as f64 / deep.acc_units as f64),
+    );
+}
