@@ -95,8 +95,14 @@ async fn halo_exchange(
     let recv_down = (rank + 1 < active).then(|| m.irecv(comm, Some(rank + 1), Some(TAG_HALO_UP)));
     if rank > 0 {
         let first_row: Vec<f64> = v[..nx].to_vec();
-        m.send(comm, rank - 1, TAG_HALO_UP, Value::vec(first_row), row_bytes)
-            .await;
+        m.send(
+            comm,
+            rank - 1,
+            TAG_HALO_UP,
+            Value::vec(first_row),
+            row_bytes,
+        )
+        .await;
     }
     if rank + 1 < active {
         let last_row: Vec<f64> = v[(rows - 1) * nx..rows * nx].to_vec();

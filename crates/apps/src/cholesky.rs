@@ -224,9 +224,7 @@ pub fn cholesky_graph(m: &TiledMatrix) -> TaskGraph {
                 ],
                 kernel_cost("trsm", ts),
                 (3 * k + 1) as u32,
-                Some(Box::new(move || {
-                    trsm(&l.borrow(), &mut b.borrow_mut(), ts)
-                })),
+                Some(Box::new(move || trsm(&l.borrow(), &mut b.borrow_mut(), ts))),
             );
         }
         for i in k + 1..nt {
@@ -258,9 +256,7 @@ pub fn cholesky_graph(m: &TiledMatrix) -> TaskGraph {
                 ],
                 kernel_cost("syrk", ts),
                 (3 * k + 2) as u32,
-                Some(Box::new(move || {
-                    syrk(&a.borrow(), &mut c.borrow_mut(), ts)
-                })),
+                Some(Box::new(move || syrk(&a.borrow(), &mut c.borrow_mut(), ts))),
             );
         }
     }

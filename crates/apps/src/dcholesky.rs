@@ -157,7 +157,9 @@ pub async fn cholesky_distributed(
             if column_owner(j, p) != rank {
                 continue;
             }
-            let col: Vec<Value> = (j..nt).map(|i| Value::vec(tiles[&(i, j)].clone())).collect();
+            let col: Vec<Value> = (j..nt)
+                .map(|i| Value::vec(tiles[&(i, j)].clone()))
+                .collect();
             let bytes = ((nt - j) * ts * ts * 8) as u64;
             m.send(comm, 0, TAG_GATHER, Value::List(Rc::new(col)), bytes)
                 .await;

@@ -30,7 +30,10 @@ fn c_mul(a: Cpx, b: Cpx) -> Cpx {
 /// In-place radix-2 Cooley–Tukey FFT. Length must be a power of two.
 pub fn fft_inplace(data: &mut [Cpx]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     if n <= 1 {
         return;
     }
@@ -277,11 +280,12 @@ mod tests {
     #[test]
     fn distributed_fft_matches_serial_2d() {
         let n = 16;
-        let grid: Vec<Cpx> = (0..n * n)
-            .map(|i| test_pattern(i / n, i % n, n))
-            .collect();
+        let grid: Vec<Cpx> = (0..n * n).map(|i| test_pattern(i / n, i % n, n)).collect();
         let serial = fft2d_reference(&grid, n);
-        let serial_mag: f64 = serial.iter().map(|&(re, im)| (re * re + im * im).sqrt()).sum();
+        let serial_mag: f64 = serial
+            .iter()
+            .map(|&(re, im)| (re * re + im * im).sqrt())
+            .sum();
         for ranks in [1u32, 2, 4, 8] {
             let (res, _) = run_fft_ideal(1, ranks, n);
             assert!(

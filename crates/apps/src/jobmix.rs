@@ -51,17 +51,14 @@ pub fn generate_mix(seed: u64, p: MixParams) -> Vec<(SimDuration, deep_resmgr::J
         let n_phases = rng.gen_range(1..=p.max_phases);
         let mut phases = Vec::with_capacity(n_phases as usize);
         for _ in 0..n_phases {
-            let cn_time = SimDuration::from_secs_f64(
-                rng.gen_exp(p.mean_cn_time.as_secs_f64()).max(1.0),
-            );
+            let cn_time =
+                SimDuration::from_secs_f64(rng.gen_exp(p.mean_cn_time.as_secs_f64()).max(1.0));
             let (bn_needed, bn_time) = if pure {
                 (0, SimDuration::ZERO)
             } else {
                 (
                     rng.gen_range(1..=p.max_bn.max(1)),
-                    SimDuration::from_secs_f64(
-                        rng.gen_exp(p.mean_bn_time.as_secs_f64()).max(1.0),
-                    ),
+                    SimDuration::from_secs_f64(rng.gen_exp(p.mean_bn_time.as_secs_f64()).max(1.0)),
                 )
             };
             phases.push(deep_resmgr::JobPhase {

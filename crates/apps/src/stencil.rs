@@ -59,8 +59,7 @@ pub async fn jacobi(
     while sweeps < max_sweeps && max_delta > tol {
         // Halo exchange (receives posted before sends). Ranks without
         // rows sit out entirely but still join the global reductions.
-        let recv_up =
-            (rows > 0 && rank > 0).then(|| m.irecv(comm, Some(rank - 1), Some(TAG_DOWN)));
+        let recv_up = (rows > 0 && rank > 0).then(|| m.irecv(comm, Some(rank - 1), Some(TAG_DOWN)));
         let recv_down =
             (rows > 0 && rank + 1 < active).then(|| m.irecv(comm, Some(rank + 1), Some(TAG_UP)));
         if rows > 0 && rank > 0 {

@@ -37,9 +37,10 @@ fn bench_dataflow_run(c: &mut Criterion) {
                 let node = NodeModel::xeon_phi_knc();
                 let mut sim = Simulation::new(1);
                 let ctx = sim.handle();
-                let h = sim.spawn("run", async move {
-                    run_dataflow(&ctx, graph, &node, 60).await
-                });
+                let h = sim.spawn(
+                    "run",
+                    async move { run_dataflow(&ctx, graph, &node, 60).await },
+                );
                 sim.run().assert_completed();
                 h.try_result().unwrap().makespan
             })

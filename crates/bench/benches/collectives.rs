@@ -14,7 +14,8 @@ fn run_collective(op: &str, ranks: u32, repeats: u32) {
                 match op.as_str() {
                     "barrier" => m.barrier(&world).await,
                     "allreduce" => {
-                        m.allreduce(&world, ReduceOp::Sum, Value::F64(1.0), 1024).await;
+                        m.allreduce(&world, ReduceOp::Sum, Value::F64(1.0), 1024)
+                            .await;
                     }
                     "bcast" => {
                         m.bcast(&world, 0, Value::F64(1.0), 4096).await;

@@ -69,7 +69,7 @@ fn bench_channels(c: &mut Criterion) {
                 let mut sum = 0u64;
                 while let Ok(v) = rx.recv().await {
                     sum += v;
-                    if sum % 64 == 0 {
+                    if sum.is_multiple_of(64) {
                         ctx2.sleep(SimDuration::nanos(1)).await;
                     }
                 }

@@ -42,9 +42,14 @@ fn run_transfers(topo: &str, n_transfers: u64) {
         let dst = NodeId((i as u32 * 101 + 13) % n_nodes);
         sim.spawn(format!("x{i}"), async move {
             if src != dst {
-                net.transfer(src, dst, 4096 + (64 * i) % 65536, EndpointOverhead::default())
-                    .await
-                    .unwrap();
+                net.transfer(
+                    src,
+                    dst,
+                    4096 + (64 * i) % 65536,
+                    EndpointOverhead::default(),
+                )
+                .await
+                .unwrap();
             }
         });
     }

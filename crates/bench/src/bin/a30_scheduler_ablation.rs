@@ -54,9 +54,17 @@ fn main() {
     let mut t = Table::new(
         "A30",
         "dataflow ready-queue policy ablation (makespan, µs)",
-        &["workload", "workers", "FIFO", "CP-first", "CP-first wins", "cp bound"],
+        &[
+            "workload",
+            "workers",
+            "FIFO",
+            "CP-first",
+            "CP-first wins",
+            "cp bound",
+        ],
     );
-    let cases: Vec<(&str, Box<dyn Fn() -> TaskGraph>, u32)> = vec![
+    type Case = (&'static str, Box<dyn Fn() -> TaskGraph>, u32);
+    let cases: Vec<Case> = vec![
         ("cholesky 12x12", Box::new(|| cholesky(12)), 16),
         ("cholesky 12x12", Box::new(|| cholesky(12)), 60),
         ("cholesky 16x16", Box::new(|| cholesky(16)), 60),

@@ -14,11 +14,7 @@ fn machine(sim: &Sim, select: BiSelect, n_bi: u32) -> Rc<CbpWire> {
     let ib = Rc::new(IbFabric::new(sim, 16 + n_bi));
     let extoll = Rc::new(ExtollFabric::new(sim, (4, 4, 4)));
     let stride = 64 / n_bi;
-    let mut cfg = CbpConfig::new(
-        16,
-        64,
-        (0..n_bi).map(|i| (16 + i, i * stride)).collect(),
-    );
+    let mut cfg = CbpConfig::new(16, 64, (0..n_bi).map(|i| (16 + i, i * stride)).collect());
     cfg.bi_select = select;
     cfg.stripe_threshold = u64::MAX;
     CbpWire::new(sim, ib, extoll, cfg)

@@ -44,7 +44,8 @@ fn run(algo: Algo, ranks: u32, doubles: usize) -> f64 {
                         let partial = m
                             .reduce(&world, 0, ReduceOp::Sum, Value::vec(mine.clone()), bytes)
                             .await;
-                        m.bcast(&world, 0, partial.unwrap_or(Value::Unit), bytes).await;
+                        m.bcast(&world, 0, partial.unwrap_or(Value::Unit), bytes)
+                            .await;
                     }
                 }
             }
@@ -58,7 +59,13 @@ fn main() {
     let mut t = Table::new(
         "A33",
         "allreduce algorithm ablation: time per operation [µs], 16 ranks on IB",
-        &["payload", "recursive doubling", "ring", "reduce+bcast", "best"],
+        &[
+            "payload",
+            "recursive doubling",
+            "ring",
+            "reduce+bcast",
+            "best",
+        ],
     );
     for doubles in [16usize, 1024, 32_768, 262_144, 1_048_576] {
         let rd = run(Algo::RecursiveDoubling, 16, doubles);

@@ -13,7 +13,12 @@ fn main() {
     let mut t = Table::new(
         "F02",
         "performance evolution: Top500 #1 vs the two scaling laws",
-        &["year", "Top500 #1 [GF]", "Meuer projection [GF]", "Moore projection [GF]"],
+        &[
+            "year",
+            "Top500 #1 [GF]",
+            "Meuer projection [GF]",
+            "Moore projection [GF]",
+        ],
     );
     let (y0, v0) = series[0];
     for &(y, v) in &series {
@@ -29,7 +34,10 @@ fn main() {
 
     let fit = fitted_factor_per_decade(&series);
     println!("fitted growth of the historical series: x{fit:.0} per decade");
-    println!("Meuer's law says x1000; Moore's law alone gives x{:.0}.", moore_factor(10.0));
+    println!(
+        "Meuer's law says x1000; Moore's law alone gives x{:.0}.",
+        moore_factor(10.0)
+    );
     println!(
         "the gap (x{:.0}) is what parallelism growth contributed — the paper's\n\
          motivation for ever more (and more heterogeneous) parallelism.\n",

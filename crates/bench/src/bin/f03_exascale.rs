@@ -12,7 +12,13 @@ fn main() {
     let mut t = Table::new(
         "F03",
         "what would an exaflop cost in power, per building block?",
-        &["node type", "peak/node [GF]", "GF/W", "nodes for 1 EF", "facility [MW]"],
+        &[
+            "node type",
+            "peak/node [GF]",
+            "GF/W",
+            "nodes for 1 EF",
+            "facility [MW]",
+        ],
     );
     for node in [
         NodeModel::bluegene_p_node(),

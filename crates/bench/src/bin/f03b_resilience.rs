@@ -35,15 +35,24 @@ fn main() {
             ..base
         };
         let daly = daly_optimum(&p);
-        let eff = |interval: f64| mean_efficiency(&p, interval, 7, 8);
+        // Truncated replicas (configurations that cannot finish their
+        // work within the simulator's wall cap) are flagged with "!".
+        let eff = |interval: f64| {
+            let m = mean_efficiency(&p, interval, 7, 8);
+            if m.truncated_runs > 0 {
+                format!("{}!", fmt_f(m.efficiency))
+            } else {
+                fmt_f(m.efficiency)
+            }
+        };
         t.row(&[
             nodes.to_string(),
             fmt_f(p.mtbf_node_s / nodes as f64 / 3600.0),
             fmt_f(daly / 60.0),
-            fmt_f(eff(daly / 4.0)),
-            fmt_f(eff(daly)),
-            fmt_f(eff(daly * 4.0)),
-            fmt_f(eff(24.0 * 3600.0)),
+            eff(daly / 4.0),
+            eff(daly),
+            eff(daly * 4.0),
+            eff(24.0 * 3600.0),
         ]);
     }
     t.print();

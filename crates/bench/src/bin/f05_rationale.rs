@@ -11,7 +11,13 @@ fn main() {
     let mut t = Table::new(
         "F05",
         "generation steps: proprietary vs commodity",
-        &["comparison", "years", "speed factor", "power factor", "GF/W factor"],
+        &[
+            "comparison",
+            "years",
+            "speed factor",
+            "power factor",
+            "GF/W factor",
+        ],
     );
 
     // Per-node Blue Gene step (P 2007 -> Q 2011).

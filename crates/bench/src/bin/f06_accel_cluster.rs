@@ -12,12 +12,7 @@ fn main() {
     let mut t = Table::new(
         "F06",
         "offload data path: host-staged PCIe vs direct fabric [µs]",
-        &[
-            "payload",
-            "PCIe (driver)",
-            "EXTOLL direct",
-            "direct/PCIe",
-        ],
+        &["payload", "PCIe (driver)", "EXTOLL direct", "direct/PCIe"],
     );
     for shift in [10u32, 13, 16, 20, 24] {
         let bytes = 1u64 << shift;

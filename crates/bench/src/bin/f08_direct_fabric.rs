@@ -12,7 +12,14 @@ fn main() {
     let mut t = Table::new(
         "F08",
         "effective bandwidth [GB/s] vs message size",
-        &["size", "PCIe (DMA)", "InfiniBand", "EXTOLL", "IB/PCIe", "EXTOLL/PCIe"],
+        &[
+            "size",
+            "PCIe (DMA)",
+            "InfiniBand",
+            "EXTOLL",
+            "IB/PCIe",
+            "EXTOLL/PCIe",
+        ],
     );
     let mut ib_cross = None;
     let mut ex_cross = None;

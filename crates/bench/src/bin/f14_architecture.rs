@@ -21,10 +21,14 @@ fn main() {
             "GF/W",
         ],
     );
-    for cfg in [DeepConfig::small(), DeepConfig::medium(), DeepConfig::prototype()] {
+    for cfg in [
+        DeepConfig::small(),
+        DeepConfig::medium(),
+        DeepConfig::prototype(),
+    ] {
         let peak_tf = cfg.peak_flops() / 1e12;
-        let booster_share = cfg.n_booster() as f64 * cfg.booster_node.peak_flops()
-            / cfg.peak_flops();
+        let booster_share =
+            cfg.n_booster() as f64 * cfg.booster_node.peak_flops() / cfg.peak_flops();
         let kw = cfg.peak_power_w() / 1e3;
         let name = match cfg.n_cluster {
             4 => "small (tests)",

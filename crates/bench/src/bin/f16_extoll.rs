@@ -17,7 +17,12 @@ fn main() {
     let mut t = Table::new(
         "F16a",
         "VELO latency and RMA bandwidth vs payload",
-        &["payload", "VELO latency [µs]", "RMA put [µs]", "RMA goodput [GB/s]"],
+        &[
+            "payload",
+            "VELO latency [µs]",
+            "RMA put [µs]",
+            "RMA goodput [GB/s]",
+        ],
     );
     for shift in [3u32, 6, 9, 12, 13, 16, 20, 24] {
         let bytes = 1u64 << shift;
@@ -69,7 +74,12 @@ fn main() {
     let mut t3 = Table::new(
         "F16c",
         "link-level retransmission: 16 MiB RMA under segment error rates",
-        &["segment error rate", "retransmissions", "goodput [GB/s]", "vs clean"],
+        &[
+            "segment error rate",
+            "retransmissions",
+            "goodput [GB/s]",
+            "vs clean",
+        ],
     );
     let clean = {
         let mut sim = Simulation::new(7);

@@ -52,7 +52,12 @@ fn main() {
     let mut t = Table::new(
         "F21",
         "collective MPI_Comm_spawn cost vs booster process count",
-        &["booster procs", "torus", "spawn cost [ms]", "cost/proc [µs]"],
+        &[
+            "booster procs",
+            "torus",
+            "spawn cost [ms]",
+            "cost/proc [µs]",
+        ],
     );
     let cases: [((u32, u32, u32), u32); 6] = [
         ((4, 2, 2), 16),

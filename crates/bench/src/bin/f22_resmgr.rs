@@ -52,7 +52,10 @@ fn main() {
         .par_iter()
         .map(|&(seed, policy)| {
             let mix = generate_mix(seed, mix_params);
-            ((seed, policy), run_workload(seed, machine.0, machine.1, policy, mix))
+            (
+                (seed, policy),
+                run_workload(seed, machine.0, machine.1, policy, mix),
+            )
         })
         .collect();
 
@@ -70,10 +73,13 @@ fn main() {
                 .expect("replica computed")
                 .1;
             let n = rep.jobs.len() as f64;
-            let mean_wait: f64 =
-                rep.jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / n;
-            let mean_bn_wait: f64 =
-                rep.jobs.iter().map(|j| j.bn_wait.as_secs_f64()).sum::<f64>() / n;
+            let mean_wait: f64 = rep.jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / n;
+            let mean_bn_wait: f64 = rep
+                .jobs
+                .iter()
+                .map(|j| j.bn_wait.as_secs_f64())
+                .sum::<f64>()
+                / n;
             let makespan = rep.makespan.as_secs_f64();
             if policy == Policy::StaticFcfs {
                 static_makespan = makespan;

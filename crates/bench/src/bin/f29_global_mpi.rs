@@ -51,21 +51,36 @@ fn latencies() -> (f64, f64, f64) {
         let handle = CbpWireHandle(w.clone());
         let (a, b) = (w.cluster_ep(0), w.cluster_ep(9));
         sim.spawn("cc", async move {
-            handle.transfer(a, b, 64).await.unwrap().elapsed.as_secs_f64()
+            handle
+                .transfer(a, b, 64)
+                .await
+                .unwrap()
+                .elapsed
+                .as_secs_f64()
         })
     };
     let h2 = {
         let handle = CbpWireHandle(w.clone());
         let (a, b) = (w.booster_ep(0), w.booster_ep(21));
         sim.spawn("bb", async move {
-            handle.transfer(a, b, 64).await.unwrap().elapsed.as_secs_f64()
+            handle
+                .transfer(a, b, 64)
+                .await
+                .unwrap()
+                .elapsed
+                .as_secs_f64()
         })
     };
     let h3 = {
         let handle = CbpWireHandle(w.clone());
         let (a, b) = (w.cluster_ep(1), w.booster_ep(33));
         sim.spawn("cb", async move {
-            handle.transfer(a, b, 64).await.unwrap().elapsed.as_secs_f64()
+            handle
+                .transfer(a, b, 64)
+                .await
+                .unwrap()
+                .elapsed
+                .as_secs_f64()
         })
     };
     sim.run().assert_completed();

@@ -111,12 +111,7 @@ impl CbpWire {
     /// Assemble the bridge. The IB fabric must have at least
     /// `n_cluster + bis.len()` hosts; the EXTOLL fabric at least
     /// `n_booster` nodes.
-    pub fn new(
-        sim: &Sim,
-        ib: Rc<IbFabric>,
-        extoll: Rc<ExtollFabric>,
-        cfg: CbpConfig,
-    ) -> Rc<Self> {
+    pub fn new(sim: &Sim, ib: Rc<IbFabric>, extoll: Rc<ExtollFabric>, cfg: CbpConfig) -> Rc<Self> {
         assert!(!cfg.bis.is_empty(), "at least one booster interface");
         assert!(
             ib.num_nodes() as u32 >= cfg.n_cluster + cfg.bis.len() as u32,
@@ -527,7 +522,10 @@ mod tests {
         let b = times[1].try_result().unwrap();
         // The slower one waited for the faster one's credits: it takes
         // roughly double the end-to-end time rather than sharing links.
-        assert!((b.max(a)) > (a.min(b)) * 1.6, "credit wait visible: {a} {b}");
+        assert!(
+            (b.max(a)) > (a.min(b)) * 1.6,
+            "credit wait visible: {a} {b}"
+        );
     }
 
     #[test]

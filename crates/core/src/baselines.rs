@@ -73,7 +73,12 @@ impl AcceleratedNode {
     pub async fn h2d(&self, bytes: u64) {
         self.count(bytes);
         self.bus
-            .transfer(PcieBus::host(), PcieBus::device(0), bytes, self.dma_overhead)
+            .transfer(
+                PcieBus::host(),
+                PcieBus::device(0),
+                bytes,
+                self.dma_overhead,
+            )
             .await
             .expect("PCIe transfer");
     }
@@ -82,7 +87,12 @@ impl AcceleratedNode {
     pub async fn d2h(&self, bytes: u64) {
         self.count(bytes);
         self.bus
-            .transfer(PcieBus::device(0), PcieBus::host(), bytes, self.dma_overhead)
+            .transfer(
+                PcieBus::device(0),
+                PcieBus::host(),
+                bytes,
+                self.dma_overhead,
+            )
             .await
             .expect("PCIe transfer");
     }
@@ -137,11 +147,7 @@ mod tests {
     fn h2d_d2h_roundtrip_costs_time_and_counts_traffic() {
         let mut sim = Simulation::new(1);
         let ctx = sim.handle();
-        let node = Rc::new(AcceleratedNode::new(
-            &ctx,
-            NodeModel::gpu_k20x(),
-            0,
-        ));
+        let node = Rc::new(AcceleratedNode::new(&ctx, NodeModel::gpu_k20x(), 0));
         let n2 = node.clone();
         let h = sim.spawn("copy", async move {
             let t0 = n2.bus.sim().now();

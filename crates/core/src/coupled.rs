@@ -153,9 +153,7 @@ pub fn run_on_deep(seed: u64, config: DeepConfig, p: CoupledParams) -> CoupledRe
                 let t =
                     roofline::exec_time_with_mode(&cluster_node, &ck, cluster_node.cores, false);
                 m.sim().sleep(t.time).await;
-                let blocks = (0..size)
-                    .map(|_| Value::Unit)
-                    .collect();
+                let blocks = (0..size).map(|_| Value::Unit).collect();
                 m.alltoall(&world, blocks, p.alltoall_bytes).await;
                 t_cluster += m.sim().now() - t0;
 
@@ -177,9 +175,7 @@ pub fn run_on_deep(seed: u64, config: DeepConfig, p: CoupledParams) -> CoupledRe
             if m.rank() == 0 {
                 *out.borrow_mut() = Some((t_spawned - t_start, t_cluster, t_offload));
             }
-            let _ = m
-                .allreduce(&world, ReduceOp::Sum, Value::U64(1), 8)
-                .await;
+            let _ = m.allreduce(&world, ReduceOp::Sum, Value::U64(1), 8).await;
         })
     });
     sim.run().assert_completed();
@@ -187,8 +183,19 @@ pub fn run_on_deep(seed: u64, config: DeepConfig, p: CoupledParams) -> CoupledRe
     let (t_spawn, t_cluster, t_offload) = out.borrow_mut().take().expect("rank 0 reported");
     let traffic = machine.cbp().bridged_traffic();
     let elapsed = t_spawn + t_cluster + t_offload;
-    let energy = energy_of(config.n_cluster, &config.cluster_node, t_cluster, t_offload + t_spawn, 0.9)
-        + energy_of(config.n_booster(), &config.booster_node, t_offload, t_cluster + t_spawn, 0.9);
+    let energy = energy_of(
+        config.n_cluster,
+        &config.cluster_node,
+        t_cluster,
+        t_offload + t_spawn,
+        0.9,
+    ) + energy_of(
+        config.n_booster(),
+        &config.booster_node,
+        t_offload,
+        t_cluster + t_spawn,
+        0.9,
+    );
     CoupledReport {
         arch: "deep-cluster-booster".into(),
         elapsed,
@@ -319,7 +326,13 @@ pub fn run_on_accelerated(seed: u64, n_nodes: u32, p: CoupledParams) -> CoupledR
     let (elapsed, gpu_busy) = out.borrow_mut().take().expect("rank 0 reported");
     let traffic = ac.total_acc_traffic();
     let energy = energy_of(n_nodes, &host, elapsed, SimDuration::ZERO, 0.9)
-        + energy_of(n_nodes, &gpu, gpu_busy, elapsed.saturating_sub(gpu_busy), 0.9);
+        + energy_of(
+            n_nodes,
+            &gpu,
+            gpu_busy,
+            elapsed.saturating_sub(gpu_busy),
+            0.9,
+        );
     CoupledReport {
         arch: "accelerated-cluster".into(),
         elapsed,

@@ -13,6 +13,12 @@
 //!   homogeneous cluster and a PCIe-accelerated cluster;
 //! * [`coupled`] — the coupled multi-physics proxy application running on
 //!   all three architectures (experiment F10);
+//! * [`resilience`] — checkpoint/restart efficiency models: single-level
+//!   with Daly's optimum (F03b) and the multi-level L1/L2/L3 policy under
+//!   a failure-severity mix (ER01);
+//! * [`storage`] — bridges the simulated DEEP-ER storage hierarchy
+//!   (`deep-io`) to the resilience model by measuring per-level
+//!   checkpoint/restore costs on the machine;
 //! * [`report`] — Markdown/JSON tables used by the figure-regeneration
 //!   binaries.
 //!
@@ -49,6 +55,7 @@ pub mod coupled;
 pub mod machine;
 pub mod report;
 pub mod resilience;
+pub mod storage;
 
 pub use baselines::{AcceleratedCluster, AcceleratedNode};
 pub use config::DeepConfig;
@@ -56,5 +63,9 @@ pub use coupled::{
     run_on_accelerated, run_on_deep, run_on_pure_cluster, CoupledParams, CoupledReport,
 };
 pub use machine::{DeepMachine, BOOSTER_POOL, OFFLOAD_SERVER};
-pub use resilience::{daly_optimum, mean_efficiency, simulate_run, ResilienceOutcome, ResilienceParams};
 pub use report::{fmt_bytes, fmt_f, Table};
+pub use resilience::{
+    daly_optimum, mean_efficiency, mean_multilevel_efficiency, simulate_multilevel, simulate_run,
+    LevelCost, MeanEfficiency, MultiLevelParams, ResilienceOutcome, ResilienceParams,
+};
+pub use storage::measure_level_costs;

@@ -1,10 +1,10 @@
 //! Experiment reporting: small tables that print as Markdown (for
 //! EXPERIMENTS.md) and serialise as JSON (for machine consumption).
 
-use serde::Serialize;
+use deep_json::{object, Value};
 
 /// A table of experiment results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier (e.g. "F16").
     pub id: String,
@@ -39,7 +39,11 @@ impl Table {
         s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         s.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for r in &self.rows {
             s.push_str(&format!("| {} |\n", r.join(" | ")));
@@ -49,7 +53,16 @@ impl Table {
 
     /// Render as a JSON object string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        object([
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("headers", self.headers.clone().into()),
+            (
+                "rows",
+                Value::Array(self.rows.iter().map(|r| r.clone().into()).collect()),
+            ),
+        ])
+        .to_json_pretty()
     }
 
     /// Print Markdown followed by a JSON trailer (the format the

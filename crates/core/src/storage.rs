@@ -1,0 +1,92 @@
+//! Bridging the DES storage models into the analytic resilience model:
+//! checkpoint and restore costs per level are *measured* on a simulated
+//! DEEP machine (NVM writes, EXTOLL buddy transfers, BI-bridge drains
+//! onto the PFS) rather than assumed.
+
+use deep_io::CkptLevel;
+use deep_simkit::Simulation;
+
+use crate::config::DeepConfig;
+use crate::machine::DeepMachine;
+use crate::resilience::LevelCost;
+
+/// Measure the wall-clock cost of one checkpoint + one restore at every
+/// level, for a booster job of `ranks` ranks with `bytes_per_rank` of
+/// state each, on the machine described by `config`. Deterministic in
+/// `seed`.
+///
+/// The returned costs are what [`crate::resilience::MultiLevelParams`]
+/// expects in its `levels` field — this is the DEEP-ER story end to end:
+/// the storage hierarchy's simulated performance feeds the checkpoint
+/// policy trade-off.
+pub fn measure_level_costs(
+    config: &DeepConfig,
+    ranks: u32,
+    bytes_per_rank: u64,
+    seed: u64,
+) -> [LevelCost; 3] {
+    let mut sim = Simulation::new(seed);
+    let ctx = sim.handle();
+    let machine = DeepMachine::build(&ctx, config.clone());
+    let mgr = machine.checkpoint_manager(ranks);
+    let h = sim.spawn("measure-levels", async move {
+        let mut costs = [LevelCost {
+            write_s: 0.0,
+            restore_s: 0.0,
+        }; 3];
+        // Ascending marks: after each checkpoint the restore picks that
+        // (newest) level, so each level's restore path is measured too.
+        for (i, level) in CkptLevel::ALL.into_iter().enumerate() {
+            let op = mgr.checkpoint(level, bytes_per_rank, (i + 1) as u64).await;
+            costs[i].write_s = op.elapsed.as_secs_f64();
+            let restore = mgr
+                .restore(bytes_per_rank)
+                .await
+                .expect("nothing failed: restore must succeed");
+            assert_eq!(restore.level, level);
+            costs[i].restore_s = restore.elapsed.as_secs_f64();
+        }
+        costs
+    });
+    sim.run().assert_completed();
+    h.try_result().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_costs_are_ordered_and_deterministic() {
+        let cfg = DeepConfig::small();
+        let costs = measure_level_costs(&cfg, 8, 16 << 20, 1);
+        assert!(costs[0].write_s > 0.0);
+        assert!(
+            costs[0].write_s < costs[1].write_s,
+            "L1 {} must beat L2 {}",
+            costs[0].write_s,
+            costs[1].write_s
+        );
+        assert!(
+            costs[1].write_s < costs[2].write_s,
+            "L2 {} must beat L3 {}",
+            costs[1].write_s,
+            costs[2].write_s
+        );
+        let again = measure_level_costs(&cfg, 8, 16 << 20, 1);
+        assert_eq!(costs, again);
+    }
+
+    #[test]
+    fn l1_is_much_faster_than_l3() {
+        // The ER01 acceptance shape: local NVM beats the PFS by a wide
+        // margin for the same state size.
+        let costs = measure_level_costs(&DeepConfig::small(), 8, 64 << 20, 2);
+        assert!(
+            costs[2].write_s >= 5.0 * costs[0].write_s,
+            "L3 {} should be ≥5x L1 {}",
+            costs[2].write_s,
+            costs[0].write_s
+        );
+    }
+}

@@ -73,7 +73,7 @@ impl ExtollFabric {
         params: ExtollParams,
     ) -> Self {
         let topo = Torus3D::new(dims, spec);
-        let net = Network::new(sim, Box::new(topo), params.mtu, 0xE070_11);
+        let net = Network::new(sim, Box::new(topo), params.mtu, 0x00E0_7011);
         ExtollFabric {
             net: Rc::new(net),
             torus_dims: dims,
@@ -297,7 +297,10 @@ mod tests {
             let ctx = ctx.clone();
             handles.push(sim.spawn(format!("d{hops}"), async move {
                 ctx.sleep(SimDuration::micros(hops as u64 * 100)).await;
-                e.velo_send(NodeId(0), NodeId(hops), 8).await.unwrap().elapsed
+                e.velo_send(NodeId(0), NodeId(hops), 8)
+                    .await
+                    .unwrap()
+                    .elapsed
             }));
         }
         sim.run().assert_completed();

@@ -82,7 +82,10 @@ impl FatTree {
         // Destination-based, like real IB LID routing: all flows to the
         // same destination share a spine, which creates the well-known
         // static-routing hot spots under adversarial patterns.
-        (dst.0.wrapping_mul(2654435761).wrapping_add(src.0 / self.nodes_per_leaf)) % self.spines
+        (dst.0
+            .wrapping_mul(2654435761)
+            .wrapping_add(src.0 / self.nodes_per_leaf))
+            % self.spines
     }
 }
 
@@ -96,7 +99,7 @@ impl Topology for FatTree {
         for _ in 0..self.hosts {
             v.push(self.host_spec); // up
             v.push(self.host_spec); // down
-            // Reserve two unused slots to keep host stride 4 (simplifies ids).
+                                    // Reserve two unused slots to keep host stride 4 (simplifies ids).
             v.push(self.host_spec);
             v.push(self.host_spec);
         }

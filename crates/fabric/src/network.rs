@@ -242,7 +242,11 @@ impl Network {
 
     /// Total bytes carried per link so far (diagnostics).
     pub fn link_bytes(&self) -> Vec<u64> {
-        self.links.borrow().iter().map(|l| l.bytes_carried).collect()
+        self.links
+            .borrow()
+            .iter()
+            .map(|l| l.bytes_carried)
+            .collect()
     }
 
     /// Busy-time fraction of each link relative to `elapsed`.

@@ -167,7 +167,10 @@ mod tests {
             }));
         }
         sim.run().assert_completed();
-        let times: Vec<_> = handles.into_iter().map(|h| h.try_result().unwrap()).collect();
+        let times: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.try_result().unwrap())
+            .collect();
         // Each 64 MiB at 6.2 GB/s lane ≈ 10.8 ms, but the shared 10 GB/s
         // root-complex link serializes: second finishes ≥ 64MiB/10GBps later.
         let fast = times.iter().min().unwrap().as_secs_f64();

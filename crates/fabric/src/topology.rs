@@ -130,7 +130,11 @@ pub fn analyze(topo: &dyn Topology) -> TopologyStats {
     }
     TopologyStats {
         diameter,
-        mean_distance: if pairs > 0 { total as f64 / pairs as f64 } else { 0.0 },
+        mean_distance: if pairs > 0 {
+            total as f64 / pairs as f64
+        } else {
+            0.0
+        },
         links: topo.link_specs().len(),
         nodes: n,
     }

@@ -1,11 +1,10 @@
 //! Common identifier and descriptor types for fabric models.
 
 use deep_simkit::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an endpoint (node) within one fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {

@@ -6,10 +6,9 @@
 //! (slide 3: "are ~100 MW acceptable?"; slide 15: "5 GFlop/W").
 
 use deep_simkit::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Linear idle↔peak power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Watts drawn when idle.
     pub idle_w: f64,
@@ -123,7 +122,7 @@ mod tests {
         };
         let mut m = EnergyMeter::new();
         m.record(&p, SimDuration::secs(1), 1.0); // 200 J over 1 s
-        // 1e12 flops in 1 s at 200 W = 1000 GF / 200 W = 5 GF/W.
+                                                 // 1e12 flops in 1 s at 200 W = 1000 GF / 200 W = 5 GF/W.
         let eff = m.gflops_per_watt(1e12);
         assert!((eff - 5.0).abs() < 1e-9);
     }

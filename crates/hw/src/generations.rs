@@ -5,10 +5,8 @@
 //! envelope while commodity processors gain only ×4–8 per four years),
 //! plus the slide-18 "positioning" lineage of Jülich systems.
 
-use serde::{Deserialize, Serialize};
-
 /// One installed system generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemGeneration {
     /// System name.
     pub name: String,
@@ -23,7 +21,7 @@ pub struct SystemGeneration {
 }
 
 /// Where a machine sits on the paper's slide-18 positioning figure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalabilityClass {
     /// Highly scalable architecture (Blue Gene lineage).
     HighlyScalable,
@@ -127,20 +125,20 @@ pub fn fitted_factor_per_decade(points: &[(u32, f64)]) -> f64 {
 /// Historical Top500 #1 systems (peak GFlop/s) — the slide-2 evolution data.
 pub fn top500_number_one() -> Vec<(u32, f64)> {
     vec![
-        (1993, 59.7),          // CM-5
-        (1994, 170.0),         // Numerical Wind Tunnel
-        (1996, 368.2),         // SR2201/CP-PACS
-        (1997, 1_338.0),       // ASCI Red
-        (2000, 4_938.0),       // ASCI White
-        (2002, 35_860.0),      // Earth Simulator
-        (2004, 70_720.0),      // BG/L (initial)
-        (2005, 280_600.0),     // BG/L (full)
-        (2008, 1_026_000.0),   // Roadrunner
-        (2009, 1_759_000.0),   // Jaguar
-        (2010, 2_566_000.0),   // Tianhe-1A
-        (2011, 10_510_000.0),  // K computer
-        (2012, 17_590_000.0),  // Titan
-        (2013, 33_860_000.0),  // Tianhe-2
+        (1993, 59.7),         // CM-5
+        (1994, 170.0),        // Numerical Wind Tunnel
+        (1996, 368.2),        // SR2201/CP-PACS
+        (1997, 1_338.0),      // ASCI Red
+        (2000, 4_938.0),      // ASCI White
+        (2002, 35_860.0),     // Earth Simulator
+        (2004, 70_720.0),     // BG/L (initial)
+        (2005, 280_600.0),    // BG/L (full)
+        (2008, 1_026_000.0),  // Roadrunner
+        (2009, 1_759_000.0),  // Jaguar
+        (2010, 2_566_000.0),  // Tianhe-1A
+        (2011, 10_510_000.0), // K computer
+        (2012, 17_590_000.0), // Titan
+        (2013, 33_860_000.0), // Tianhe-2
     ]
 }
 
@@ -207,7 +205,9 @@ mod tests {
     #[test]
     fn fit_recovers_exact_exponential() {
         // Synthetic series growing exactly 10x/decade.
-        let pts: Vec<(u32, f64)> = (0..10).map(|i| (2000 + i, 10f64.powf(i as f64 / 10.0))).collect();
+        let pts: Vec<(u32, f64)> = (0..10)
+            .map(|i| (2000 + i, 10f64.powf(i as f64 / 10.0)))
+            .collect();
         let f = fitted_factor_per_decade(&pts);
         assert!((f - 10.0).abs() < 1e-6);
     }

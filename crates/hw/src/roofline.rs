@@ -7,12 +7,11 @@
 //! (perfect overlap assumption, standard roofline).
 
 use deep_simkit::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::node::NodeModel;
 
 /// Work profile of a computational kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelProfile {
     /// Double-precision floating-point operations.
     pub flops: f64,

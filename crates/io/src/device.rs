@@ -1,0 +1,217 @@
+//! Block-device models: node-local NVM/NVMe and PFS server disk arrays.
+//!
+//! A [`BlockDevice`] is an analytic storage device on simulated time. It
+//! has a submission queue of bounded depth (FIFO, like an NVMe SQ) and a
+//! single media channel: requests acquire a queue slot, pay the device
+//! latency, then occupy the media for `bytes / bandwidth`. The media keeps
+//! a `busy_until` horizon exactly like a fabric link, so concurrent
+//! writers contend and serialise deterministically (single-writer
+//! contention), while the queue bound models the back-pressure a real
+//! device exerts once its queue is full.
+
+use std::cell::{Cell, RefCell};
+
+use deep_simkit::{Semaphore, Sim, SimDuration, SimTime};
+
+/// Static description of a storage device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Sustained read bandwidth, bytes/second.
+    pub read_bps: f64,
+    /// Sustained write bandwidth, bytes/second.
+    pub write_bps: f64,
+    /// Per-request access latency (submission → first byte).
+    pub latency: SimDuration,
+    /// Submission-queue depth (max in-flight requests).
+    pub queue_depth: u32,
+}
+
+impl DeviceSpec {
+    /// DEEP-ER node-local NVM (NVMe-class flash on the node):
+    /// ~2.8 GB/s read, ~2.0 GB/s write, ~15 µs access latency.
+    pub fn nvm() -> DeviceSpec {
+        DeviceSpec {
+            name: "node-local NVM".into(),
+            read_bps: 2.8e9,
+            write_bps: 2.0e9,
+            latency: SimDuration::micros(15),
+            queue_depth: 8,
+        }
+    }
+
+    /// Disk array behind one PFS (BeeGFS-class) server: high capacity,
+    /// ~1.6 GB/s read / ~1.2 GB/s write per server, ~500 µs latency.
+    pub fn pfs_server_array() -> DeviceSpec {
+        DeviceSpec {
+            name: "PFS server disk array".into(),
+            read_bps: 1.6e9,
+            write_bps: 1.2e9,
+            latency: SimDuration::micros(500),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Counters accumulated over a device's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Bytes written so far.
+    pub bytes_written: u64,
+    /// Bytes read so far.
+    pub bytes_read: u64,
+    /// Completed requests (reads + writes).
+    pub ops: u64,
+}
+
+/// A live block device on simulated time.
+pub struct BlockDevice {
+    sim: Sim,
+    spec: DeviceSpec,
+    queue: Semaphore,
+    media_busy_until: Cell<SimTime>,
+    stats: RefCell<DeviceStats>,
+}
+
+impl BlockDevice {
+    /// Instantiate a device from its spec.
+    pub fn new(sim: &Sim, spec: DeviceSpec) -> BlockDevice {
+        let depth = spec.queue_depth.max(1) as u64;
+        BlockDevice {
+            sim: sim.clone(),
+            spec,
+            queue: Semaphore::new(sim, depth),
+            media_busy_until: Cell::new(SimTime::ZERO),
+            stats: RefCell::new(DeviceStats::default()),
+        }
+    }
+
+    /// The device's static description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeviceStats {
+        *self.stats.borrow()
+    }
+
+    /// Write `bytes`, suspending until the device has absorbed them.
+    /// Returns the request's total latency.
+    pub async fn write(&self, bytes: u64) -> SimDuration {
+        self.request(bytes, self.spec.write_bps, true).await
+    }
+
+    /// Read `bytes`, suspending until the last byte is delivered.
+    pub async fn read(&self, bytes: u64) -> SimDuration {
+        self.request(bytes, self.spec.read_bps, false).await
+    }
+
+    async fn request(&self, bytes: u64, bps: f64, is_write: bool) -> SimDuration {
+        let start = self.sim.now();
+        let slot = self.queue.acquire().await;
+        // Access latency (command processing, seek/flash program setup).
+        self.sim.sleep(self.spec.latency).await;
+        // Media occupancy: FIFO behind whatever is already scheduled.
+        let now = self.sim.now();
+        let occupancy_start = now.max(self.media_busy_until.get());
+        let xfer = SimDuration::from_secs_f64(bytes as f64 / bps);
+        let done = occupancy_start + xfer;
+        self.media_busy_until.set(done);
+        self.sim.sleep_until(done).await;
+        slot.release();
+        let mut st = self.stats.borrow_mut();
+        if is_write {
+            st.bytes_written += bytes;
+        } else {
+            st.bytes_read += bytes;
+        }
+        st.ops += 1;
+        self.sim.now() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_simkit::Simulation;
+    use std::rc::Rc;
+
+    fn dev(sim: &Sim) -> Rc<BlockDevice> {
+        Rc::new(BlockDevice::new(
+            sim,
+            DeviceSpec {
+                name: "test".into(),
+                read_bps: 2e9,
+                write_bps: 1e9,
+                latency: SimDuration::micros(10),
+                queue_depth: 4,
+            },
+        ))
+    }
+
+    #[test]
+    fn uncontended_write_is_latency_plus_transfer() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let d = dev(&ctx);
+        let h = sim.spawn("w", async move { d.write(1_000_000).await });
+        sim.run().assert_completed();
+        // 10 µs latency + 1 MB at 1 GB/s = 1 ms.
+        assert_eq!(h.try_result().unwrap().as_nanos(), 10_000 + 1_000_000);
+    }
+
+    #[test]
+    fn reads_are_faster_than_writes() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let d = dev(&ctx);
+        let d2 = d.clone();
+        let h = sim.spawn("rw", async move {
+            let w = d2.write(1_000_000).await;
+            let r = d2.read(1_000_000).await;
+            (w, r)
+        });
+        sim.run().assert_completed();
+        let (w, r) = h.try_result().unwrap();
+        assert!(r < w, "read {r} should beat write {w}");
+    }
+
+    #[test]
+    fn concurrent_writers_serialise_on_the_media() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let d = dev(&ctx);
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let d = d.clone();
+            handles.push(sim.spawn(format!("w{i}"), async move { d.write(1_000_000).await }));
+        }
+        sim.run().assert_completed();
+        let times: Vec<u64> = handles
+            .iter()
+            .map(|h| h.try_result().unwrap().as_nanos())
+            .collect();
+        // The last writer waits behind two full media occupancies.
+        let worst = *times.iter().max().unwrap();
+        assert!(worst >= 3_000_000, "worst writer saw {worst} ns");
+        assert_eq!(d.stats().bytes_written, 3_000_000);
+        assert_eq!(d.stats().ops, 3);
+    }
+
+    #[test]
+    fn queue_depth_bounds_inflight_requests() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let d = dev(&ctx); // depth 4
+        for i in 0..6 {
+            let d = d.clone();
+            sim.spawn(format!("w{i}"), async move {
+                d.write(1000).await;
+            });
+        }
+        sim.run().assert_completed();
+        assert_eq!(d.stats().ops, 6);
+    }
+}

@@ -1,0 +1,297 @@
+//! SIONlib-style aggregated file layer: N-to-N, N-to-1, and SION
+//! write patterns over a [`ParallelFs`].
+//!
+//! The three patterns model the I/O idioms DEEP-ER measured:
+//!
+//! * **TaskLocal (N-to-N)** — one physical file per rank. No write
+//!   locking, but every rank pays a metadata create on the (single)
+//!   metadata server, which serialises at scale.
+//! * **SharedFile (N-to-1)** — all ranks write one POSIX shared file.
+//!   Every block needs an offset/lock grant from the metadata server
+//!   (serialised), and unaligned blocks are padded to the FS alignment
+//!   (write amplification) — the classic shared-file collapse.
+//! * **Sion** — one physical container, one *collective* open that
+//!   pre-computes per-rank chunk offsets; afterwards every rank writes
+//!   its own aligned chunk lock-free, with task-local performance.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use deep_fabric::NodeId;
+use deep_simkit::{join_all, Semaphore, Sim, SimDuration};
+
+use crate::pfs::ParallelFs;
+
+/// Which file organisation a write phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePattern {
+    /// N-to-N: one file per rank.
+    TaskLocal,
+    /// N-to-1: one shared POSIX file, per-block lock + alignment padding.
+    SharedFile,
+    /// SIONlib: one container, collective open, aligned per-rank chunks.
+    Sion,
+}
+
+impl WritePattern {
+    /// Stable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WritePattern::TaskLocal => "task-local (N-N)",
+            WritePattern::SharedFile => "shared-file (N-1)",
+            WritePattern::Sion => "SIONlib",
+        }
+    }
+}
+
+/// Tunables of the file layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileLayerParams {
+    /// Metadata server processing time per operation (create, lock grant).
+    pub meta_service: SimDuration,
+    /// Payload of one metadata request/response message.
+    pub meta_msg_bytes: u64,
+    /// Shared-file block size: each lock grant covers one block.
+    pub shared_block_bytes: u64,
+    /// FS alignment: shared-file blocks are padded to a multiple of this.
+    pub align_bytes: u64,
+}
+
+impl Default for FileLayerParams {
+    fn default() -> Self {
+        FileLayerParams {
+            meta_service: SimDuration::micros(200),
+            meta_msg_bytes: 256,
+            shared_block_bytes: 4 << 20,
+            align_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Result of one collective write phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoPhaseStats {
+    /// Wall time of the whole phase (first open → last close).
+    pub elapsed: SimDuration,
+    /// Payload bytes requested by the application.
+    pub payload_bytes: u64,
+    /// Bytes physically written, including alignment padding.
+    pub physical_bytes: u64,
+    /// Metadata operations performed.
+    pub meta_ops: u64,
+}
+
+impl IoPhaseStats {
+    /// Application-visible aggregate throughput, bytes/second.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.payload_bytes as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// A file layer bound to a PFS and its metadata server.
+pub struct FileLayer {
+    sim: Sim,
+    pfs: Rc<ParallelFs>,
+    /// The metadata server lives on the first PFS server node.
+    meta_node: NodeId,
+    /// Serialises metadata-server operations (it is one machine).
+    meta_lock: Semaphore,
+    params: FileLayerParams,
+    meta_ops: RefCell<u64>,
+}
+
+impl FileLayer {
+    /// Bind to a PFS (metadata is served by the first PFS server).
+    pub fn new(sim: &Sim, pfs: Rc<ParallelFs>, params: FileLayerParams) -> Rc<FileLayer> {
+        let meta_node = pfs.server_nodes()[0];
+        Rc::new(FileLayer {
+            sim: sim.clone(),
+            pfs,
+            meta_node,
+            meta_lock: Semaphore::new(sim, 1),
+            params,
+            meta_ops: RefCell::new(0),
+        })
+    }
+
+    /// The underlying PFS.
+    pub fn pfs(&self) -> &Rc<ParallelFs> {
+        &self.pfs
+    }
+
+    /// One metadata round trip from `client`: request over IB, serialised
+    /// service at the metadata server, response back.
+    async fn meta_op(self: &Rc<Self>, client: NodeId) {
+        let guard = self.meta_lock.acquire().await;
+        self.pfs
+            .ib()
+            .send(client, self.meta_node, self.params.meta_msg_bytes)
+            .await
+            .expect("metadata request");
+        self.sim.sleep(self.params.meta_service).await;
+        self.pfs
+            .ib()
+            .send(self.meta_node, client, self.params.meta_msg_bytes)
+            .await
+            .expect("metadata response");
+        guard.release();
+        *self.meta_ops.borrow_mut() += 1;
+    }
+
+    fn align_up(&self, bytes: u64) -> u64 {
+        let a = self.params.align_bytes.max(1);
+        bytes.div_ceil(a) * a
+    }
+
+    /// Run one collective write phase: every client writes
+    /// `bytes_per_rank` under the given pattern. Suspends until the
+    /// slowest rank finishes; returns phase statistics.
+    pub async fn write_phase(
+        self: &Rc<Self>,
+        clients: &[NodeId],
+        bytes_per_rank: u64,
+        pattern: WritePattern,
+    ) -> IoPhaseStats {
+        let start = self.sim.now();
+        let meta_before = *self.meta_ops.borrow();
+        let mut physical = 0u64;
+
+        if pattern == WritePattern::Sion {
+            // One collective open: a single metadata op computes every
+            // rank's chunk offset (rank 0 performs it on behalf of all).
+            self.meta_op(clients[0]).await;
+        }
+
+        let mut handles = Vec::with_capacity(clients.len());
+        for (i, &client) in clients.iter().enumerate() {
+            let layer = self.clone();
+            let per_rank_physical = match pattern {
+                // Task-local and SION chunks are aligned once per rank.
+                WritePattern::TaskLocal | WritePattern::Sion => self.align_up(bytes_per_rank),
+                // Shared-file blocks are padded individually below.
+                WritePattern::SharedFile => {
+                    let full = bytes_per_rank / self.params.shared_block_bytes;
+                    let tail = bytes_per_rank % self.params.shared_block_bytes;
+                    full * self.align_up(self.params.shared_block_bytes)
+                        + if tail > 0 { self.align_up(tail) } else { 0 }
+                }
+            };
+            physical += per_rank_physical;
+            handles.push(
+                self.sim
+                    .spawn(format!("io-{}-r{i}", pattern.name()), async move {
+                        match pattern {
+                            WritePattern::TaskLocal => {
+                                // Create this rank's file, then stream it out.
+                                layer.meta_op(client).await;
+                                layer
+                                    .pfs
+                                    .write(client, layer.align_up(bytes_per_rank))
+                                    .await;
+                            }
+                            WritePattern::Sion => {
+                                // Offsets already known: pure aligned streaming.
+                                layer
+                                    .pfs
+                                    .write(client, layer.align_up(bytes_per_rank))
+                                    .await;
+                            }
+                            WritePattern::SharedFile => {
+                                let mut left = bytes_per_rank;
+                                while left > 0 {
+                                    let block = left.min(layer.params.shared_block_bytes);
+                                    // Offset/lock grant from the metadata server,
+                                    // then the padded block itself.
+                                    layer.meta_op(client).await;
+                                    layer.pfs.write(client, layer.align_up(block)).await;
+                                    left -= block;
+                                }
+                            }
+                        }
+                    }),
+            );
+        }
+        join_all(handles).await;
+
+        IoPhaseStats {
+            elapsed: self.sim.now() - start,
+            payload_bytes: bytes_per_rank * clients.len() as u64,
+            physical_bytes: physical,
+            meta_ops: *self.meta_ops.borrow() - meta_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfs::PfsConfig;
+    use deep_fabric::IbFabric;
+    use deep_simkit::Simulation;
+
+    fn phase_with(
+        pattern: WritePattern,
+        ranks: u32,
+        bytes: u64,
+        params: FileLayerParams,
+    ) -> IoPhaseStats {
+        let mut sim = Simulation::new(7);
+        let ctx = sim.handle();
+        let hosts = ranks + 2;
+        let ib = Rc::new(IbFabric::new(&ctx, hosts));
+        let servers: Vec<NodeId> = (ranks..hosts).map(NodeId).collect();
+        let pfs = ParallelFs::new(&ctx, ib, &servers, &PfsConfig::default());
+        let layer = FileLayer::new(&ctx, pfs, params);
+        let clients: Vec<NodeId> = (0..ranks).map(NodeId).collect();
+        let l = layer.clone();
+        let h = sim.spawn("phase", async move {
+            l.write_phase(&clients, bytes, pattern).await
+        });
+        sim.run().assert_completed();
+        h.try_result().unwrap()
+    }
+
+    fn phase(pattern: WritePattern, ranks: u32, bytes: u64) -> IoPhaseStats {
+        phase_with(pattern, ranks, bytes, FileLayerParams::default())
+    }
+
+    #[test]
+    fn sion_beats_shared_file() {
+        // Small application blocks (512 KiB) against a 1 MiB FS
+        // alignment: the shared file pays a lock grant per block plus
+        // padding on every block, while SION packs aligned chunks.
+        let params = FileLayerParams {
+            shared_block_bytes: 1 << 19,
+            ..FileLayerParams::default()
+        };
+        let sion = phase_with(WritePattern::Sion, 8, 8 << 20, params);
+        let shared = phase_with(WritePattern::SharedFile, 8, 8 << 20, params);
+        assert!(
+            sion.goodput_bps() > shared.goodput_bps(),
+            "SION {} vs shared {}",
+            sion.goodput_bps(),
+            shared.goodput_bps()
+        );
+    }
+
+    #[test]
+    fn sion_needs_one_metadata_op() {
+        let sion = phase(WritePattern::Sion, 8, 4 << 20);
+        assert_eq!(sion.meta_ops, 1);
+        let local = phase(WritePattern::TaskLocal, 8, 4 << 20);
+        assert_eq!(local.meta_ops, 8);
+        let shared = phase(WritePattern::SharedFile, 8, 4 << 20);
+        assert!(shared.meta_ops >= 8, "one lock per block per rank");
+    }
+
+    #[test]
+    fn shared_file_amplifies_writes() {
+        // 1.5 MiB per rank: padded to 2 MiB task-local, and per 4-MiB
+        // block (here: one padded block) in the shared file.
+        let shared = phase(WritePattern::SharedFile, 4, (3 << 20) / 2);
+        assert!(shared.physical_bytes > shared.payload_bytes);
+    }
+}

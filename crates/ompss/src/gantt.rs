@@ -26,11 +26,12 @@ pub fn render_gantt(report: &RunReport, width: usize) -> String {
         let (s, e) = (s.as_nanos() as f64, e.as_nanos() as f64);
         let first = ((s / total) * width as f64).floor() as usize;
         let last = (((e / total) * width as f64).ceil() as usize).min(width);
-        for col in first..last {
+        let row = &mut busy[w as usize];
+        for (col, cell) in row.iter_mut().enumerate().take(last).skip(first) {
             let c0 = col as f64 / width as f64 * total;
             let c1 = (col + 1) as f64 / width as f64 * total;
             let overlap = (e.min(c1) - s.max(c0)).max(0.0);
-            busy[w as usize][col] += overlap / (c1 - c0);
+            *cell += overlap / (c1 - c0);
         }
     }
     let mut out = String::new();
@@ -96,7 +97,10 @@ mod tests {
         let mut sim = Simulation::new(1);
         let ctx = sim.handle();
         let node = NodeModel::xeon_cluster_node();
-        let h = sim.spawn("run", async move { run_dataflow(&ctx, g, &node, workers).await });
+        let h = sim.spawn(
+            "run",
+            async move { run_dataflow(&ctx, g, &node, workers).await },
+        );
         sim.run().assert_completed();
         h.try_result().unwrap()
     }
@@ -198,7 +202,7 @@ mod chrome_tests {
         let r = h.try_result().unwrap();
         let json = to_chrome_trace(&r, &names);
         // Must parse as a JSON array of 5 objects.
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let parsed: deep_json::Value = deep_json::from_str(&json).expect("valid JSON");
         assert_eq!(parsed.as_array().unwrap().len(), 5);
         for ev in parsed.as_array().unwrap() {
             assert_eq!(ev["ph"], "X");

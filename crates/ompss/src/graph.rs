@@ -249,7 +249,11 @@ impl TaskGraph {
                 }
             }
         }
-        assert_eq!(order.len(), self.tasks.len(), "dependence graph has a cycle");
+        assert_eq!(
+            order.len(),
+            self.tasks.len(),
+            "dependence graph has a cycle"
+        );
         order
     }
 
@@ -278,9 +282,7 @@ impl TaskGraph {
 
     /// Total work under a per-task time function.
     pub fn total_work(&self, exec: impl Fn(TaskId) -> SimDuration) -> SimDuration {
-        (0..self.tasks.len())
-            .map(|i| exec(TaskId(i as u32)))
-            .sum()
+        (0..self.tasks.len()).map(|i| exec(TaskId(i as u32))).sum()
     }
 }
 

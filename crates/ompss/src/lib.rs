@@ -26,4 +26,6 @@ pub use graph::{Access, Device, RegionId, TaskBody, TaskCost, TaskGraph, TaskId}
 pub use offload::{
     booster_block, offload_server, run_hybrid_dataflow, OffloadReport, OffloadSpec, Offloader,
 };
-pub use runtime::{run_dataflow, run_dataflow_policy, run_fork_join, task_time, RunReport, SchedPolicy};
+pub use runtime::{
+    run_dataflow, run_dataflow_policy, run_fork_join, task_time, RunReport, SchedPolicy,
+};

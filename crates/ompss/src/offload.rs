@@ -202,6 +202,176 @@ impl Offloader {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hybrid dataflow: a task graph where `Device::Booster` tasks execute on
+// the spawned booster world (slides 30-31: the OmpSs offload abstraction
+// lowers device tasks onto the DEEP runtime, which ships data and invokes
+// the kernel over global MPI).
+// ---------------------------------------------------------------------------
+
+use crate::graph::{Device, TaskGraph, TaskId};
+use crate::runtime::{task_time, RunReport};
+
+/// Execute `graph` with dependence-driven scheduling where host tasks run
+/// on `host_workers` local cores of `host_node` and booster-annotated
+/// tasks are offloaded through `offloader` onto `block`.
+///
+/// Host workers and offload "slots" draw from the same ready queue: while
+/// one worker blocks on a booster invocation, the others keep executing
+/// host tasks — the overlap the offload model is designed for.
+pub async fn run_hybrid_dataflow(
+    m: &MpiCtx,
+    offloader: Rc<Offloader>,
+    block: Range<u32>,
+    graph: TaskGraph,
+    host_node: &NodeModel,
+    host_workers: u32,
+) -> RunReport {
+    use deep_simkit::channel;
+    use std::cell::RefCell;
+
+    assert!(host_workers >= 1);
+    let sim = m.sim().clone();
+    let host_node = host_node.clone();
+    let n_tasks = graph.len();
+    let total_work = graph.total_work(|t| task_time(&host_node, &graph.tasks[t.0 as usize].cost));
+    let critical_path =
+        graph.critical_path(|t| task_time(&host_node, &graph.tasks[t.0 as usize].cost));
+    let start = sim.now();
+    if n_tasks == 0 {
+        return RunReport {
+            makespan: deep_simkit::SimDuration::ZERO,
+            tasks: 0,
+            total_work,
+            critical_path,
+            workers: host_workers,
+            trace: Vec::new(),
+        };
+    }
+
+    enum Msg {
+        Run(TaskId),
+        Stop,
+    }
+    let (tx, rx) = channel::<Msg>(&sim);
+    let roots = graph.roots();
+    struct St {
+        graph: TaskGraph,
+        remaining: Vec<u32>,
+        completed: usize,
+        trace: Vec<(SimTime, SimTime, u32)>,
+    }
+    let remaining = graph.tasks.iter().map(|t| t.n_preds).collect();
+    let state = Rc::new(RefCell::new(St {
+        graph,
+        remaining,
+        completed: 0,
+        trace: vec![(SimTime::ZERO, SimTime::ZERO, 0); n_tasks],
+    }));
+    for t in roots {
+        tx.try_send(Msg::Run(t)).ok();
+    }
+
+    let mut workers = Vec::with_capacity(host_workers as usize);
+    for w in 0..host_workers {
+        let rx = rx.clone();
+        let tx = tx.clone();
+        let state = state.clone();
+        let sim2 = sim.clone();
+        let node = host_node.clone();
+        let m2 = m.clone();
+        let off = offloader.clone();
+        let block = block.clone();
+        workers.push(sim.spawn(format!("hybrid-worker{w}"), async move {
+            while let Ok(Msg::Run(t)) = rx.recv().await {
+                let (cost, device, body) = {
+                    let mut st = state.borrow_mut();
+                    let n = &mut st.graph.tasks[t.0 as usize];
+                    (n.cost, n.device, n.body.take())
+                };
+                let t_start = sim2.now();
+                match device {
+                    Device::Host => {
+                        sim2.sleep(task_time(&node, &cost)).await;
+                    }
+                    Device::Booster {
+                        in_bytes,
+                        out_bytes,
+                    } => {
+                        let kernel = match cost {
+                            crate::graph::TaskCost::Kernel { profile, .. } => profile,
+                            crate::graph::TaskCost::Fixed(_) => {
+                                // Fixed-cost booster tasks: model as a pure
+                                // communication+wait of that duration.
+                                deep_hw::KernelProfile {
+                                    flops: 0.0,
+                                    bytes: 0.0,
+                                    compute_efficiency: 1.0,
+                                    bandwidth_efficiency: 1.0,
+                                }
+                            }
+                        };
+                        let spec = OffloadSpec {
+                            in_bytes,
+                            out_bytes,
+                            kernel,
+                            cores: u32::MAX,
+                            iters: 1,
+                            internal_msg_bytes: 0,
+                        };
+                        off.run(&m2, &spec, block.clone()).await;
+                        if let crate::graph::TaskCost::Fixed(d) = cost {
+                            sim2.sleep(d).await;
+                        }
+                    }
+                }
+                if let Some(b) = body {
+                    b();
+                }
+                let t_end = sim2.now();
+                let mut newly = Vec::new();
+                let all_done = {
+                    let mut st = state.borrow_mut();
+                    st.trace[t.0 as usize] = (t_start, t_end, w);
+                    st.completed += 1;
+                    let succs = st.graph.tasks[t.0 as usize].successors.clone();
+                    for s in succs {
+                        st.remaining[s.0 as usize] -= 1;
+                        if st.remaining[s.0 as usize] == 0 {
+                            newly.push(s);
+                        }
+                    }
+                    st.completed == n_tasks
+                };
+                for s in newly {
+                    tx.try_send(Msg::Run(s)).ok();
+                }
+                if all_done {
+                    for _ in 0..host_workers {
+                        tx.try_send(Msg::Stop).ok();
+                    }
+                }
+            }
+        }));
+    }
+    drop(tx);
+    drop(rx);
+    deep_simkit::join_all(workers).await;
+
+    let st = Rc::try_unwrap(state)
+        .ok()
+        .expect("workers done")
+        .into_inner();
+    RunReport {
+        makespan: sim.now() - start,
+        tasks: n_tasks,
+        total_work,
+        critical_path,
+        workers: host_workers,
+        trace: st.trace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,7 +467,10 @@ mod tests {
             },
             4,
         );
-        assert!(big > small * 5.0, "64 MiB vs 1 KiB transfers: {small} vs {big}");
+        assert!(
+            big > small * 5.0,
+            "64 MiB vs 1 KiB transfers: {small} vs {big}"
+        );
     }
 
     #[test]
@@ -324,174 +497,5 @@ mod tests {
         assert_eq!(decoded.iters, spec.iters);
         assert!((decoded.kernel.flops - spec.kernel.flops).abs() < 1.0);
         assert!(OffloadSpec::decode(&OffloadSpec::shutdown_msg()).is_none());
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Hybrid dataflow: a task graph where `Device::Booster` tasks execute on
-// the spawned booster world (slides 30-31: the OmpSs offload abstraction
-// lowers device tasks onto the DEEP runtime, which ships data and invokes
-// the kernel over global MPI).
-// ---------------------------------------------------------------------------
-
-use crate::graph::{Device, TaskGraph, TaskId};
-use crate::runtime::{task_time, RunReport};
-
-/// Execute `graph` with dependence-driven scheduling where host tasks run
-/// on `host_workers` local cores of `host_node` and booster-annotated
-/// tasks are offloaded through `offloader` onto `block`.
-///
-/// Host workers and offload "slots" draw from the same ready queue: while
-/// one worker blocks on a booster invocation, the others keep executing
-/// host tasks — the overlap the offload model is designed for.
-pub async fn run_hybrid_dataflow(
-    m: &MpiCtx,
-    offloader: Rc<Offloader>,
-    block: Range<u32>,
-    graph: TaskGraph,
-    host_node: &NodeModel,
-    host_workers: u32,
-) -> RunReport {
-    use deep_simkit::channel;
-    use std::cell::RefCell;
-
-    assert!(host_workers >= 1);
-    let sim = m.sim().clone();
-    let host_node = host_node.clone();
-    let n_tasks = graph.len();
-    let total_work =
-        graph.total_work(|t| task_time(&host_node, &graph.tasks[t.0 as usize].cost));
-    let critical_path =
-        graph.critical_path(|t| task_time(&host_node, &graph.tasks[t.0 as usize].cost));
-    let start = sim.now();
-    if n_tasks == 0 {
-        return RunReport {
-            makespan: deep_simkit::SimDuration::ZERO,
-            tasks: 0,
-            total_work,
-            critical_path,
-            workers: host_workers,
-            trace: Vec::new(),
-        };
-    }
-
-    enum Msg {
-        Run(TaskId),
-        Stop,
-    }
-    let (tx, rx) = channel::<Msg>(&sim);
-    let roots = graph.roots();
-    struct St {
-        graph: TaskGraph,
-        remaining: Vec<u32>,
-        completed: usize,
-        trace: Vec<(SimTime, SimTime, u32)>,
-    }
-    let remaining = graph.tasks.iter().map(|t| t.n_preds).collect();
-    let state = Rc::new(RefCell::new(St {
-        graph,
-        remaining,
-        completed: 0,
-        trace: vec![(SimTime::ZERO, SimTime::ZERO, 0); n_tasks],
-    }));
-    for t in roots {
-        tx.try_send(Msg::Run(t)).ok();
-    }
-
-    let mut workers = Vec::with_capacity(host_workers as usize);
-    for w in 0..host_workers {
-        let rx = rx.clone();
-        let tx = tx.clone();
-        let state = state.clone();
-        let sim2 = sim.clone();
-        let node = host_node.clone();
-        let m2 = m.clone();
-        let off = offloader.clone();
-        let block = block.clone();
-        workers.push(sim.spawn(format!("hybrid-worker{w}"), async move {
-            loop {
-                let t = match rx.recv().await {
-                    Ok(Msg::Run(t)) => t,
-                    Ok(Msg::Stop) | Err(_) => break,
-                };
-                let (cost, device, body) = {
-                    let mut st = state.borrow_mut();
-                    let n = &mut st.graph.tasks[t.0 as usize];
-                    (n.cost, n.device, n.body.take())
-                };
-                let t_start = sim2.now();
-                match device {
-                    Device::Host => {
-                        sim2.sleep(task_time(&node, &cost)).await;
-                    }
-                    Device::Booster { in_bytes, out_bytes } => {
-                        let kernel = match cost {
-                            crate::graph::TaskCost::Kernel { profile, .. } => profile,
-                            crate::graph::TaskCost::Fixed(_) => {
-                                // Fixed-cost booster tasks: model as a pure
-                                // communication+wait of that duration.
-                                deep_hw::KernelProfile {
-                                    flops: 0.0,
-                                    bytes: 0.0,
-                                    compute_efficiency: 1.0,
-                                    bandwidth_efficiency: 1.0,
-                                }
-                            }
-                        };
-                        let spec = OffloadSpec {
-                            in_bytes,
-                            out_bytes,
-                            kernel,
-                            cores: u32::MAX,
-                            iters: 1,
-                            internal_msg_bytes: 0,
-                        };
-                        off.run(&m2, &spec, block.clone()).await;
-                        if let crate::graph::TaskCost::Fixed(d) = cost {
-                            sim2.sleep(d).await;
-                        }
-                    }
-                }
-                if let Some(b) = body {
-                    b();
-                }
-                let t_end = sim2.now();
-                let mut newly = Vec::new();
-                let all_done = {
-                    let mut st = state.borrow_mut();
-                    st.trace[t.0 as usize] = (t_start, t_end, w);
-                    st.completed += 1;
-                    let succs = st.graph.tasks[t.0 as usize].successors.clone();
-                    for s in succs {
-                        st.remaining[s.0 as usize] -= 1;
-                        if st.remaining[s.0 as usize] == 0 {
-                            newly.push(s);
-                        }
-                    }
-                    st.completed == n_tasks
-                };
-                for s in newly {
-                    tx.try_send(Msg::Run(s)).ok();
-                }
-                if all_done {
-                    for _ in 0..host_workers {
-                        tx.try_send(Msg::Stop).ok();
-                    }
-                }
-            }
-        }));
-    }
-    drop(tx);
-    drop(rx);
-    deep_simkit::join_all(workers).await;
-
-    let st = Rc::try_unwrap(state).ok().expect("workers done").into_inner();
-    RunReport {
-        makespan: sim.now() - start,
-        tasks: n_tasks,
-        total_work,
-        critical_path,
-        workers: host_workers,
-        trace: st.trace,
     }
 }

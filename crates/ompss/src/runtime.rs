@@ -200,11 +200,7 @@ pub async fn run_dataflow_policy(
         let sim2 = sim.clone();
         let node = node.clone();
         workers.push(sim.spawn(format!("ompss-worker{w}"), async move {
-            loop {
-                let msg = match rx.recv().await {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
+            while let Ok(msg) = rx.recv().await {
                 let t = match msg {
                     WorkerMsg::Token => ready
                         .borrow_mut()
@@ -357,9 +353,10 @@ mod tests {
         for i in 0..8 {
             g.add_task("t", &[(RegionId(i), Access::InOut)], fixed(100), 0, None);
         }
-        let h = sim.spawn("run", async move {
-            run_dataflow(&ctx, g, &node(), 4).await
-        });
+        let h = sim.spawn(
+            "run",
+            async move { run_dataflow(&ctx, g, &node(), 4).await },
+        );
         sim.run().assert_completed();
         let r = h.try_result().unwrap();
         // 8 tasks × 100us over 4 workers = 200us.
@@ -375,9 +372,10 @@ mod tests {
         for _ in 0..5 {
             g.add_task("c", &[(RegionId(0), Access::InOut)], fixed(100), 0, None);
         }
-        let h = sim.spawn("run", async move {
-            run_dataflow(&ctx, g, &node(), 8).await
-        });
+        let h = sim.spawn(
+            "run",
+            async move { run_dataflow(&ctx, g, &node(), 8).await },
+        );
         sim.run().assert_completed();
         let r = h.try_result().unwrap();
         assert_eq!(r.makespan, SimDuration::micros(500));
@@ -400,9 +398,10 @@ mod tests {
                 Some(Box::new(move || log.borrow_mut().push(i))),
             );
         }
-        let h = sim.spawn("run", async move {
-            run_dataflow(&ctx, g, &node(), 4).await
-        });
+        let h = sim.spawn(
+            "run",
+            async move { run_dataflow(&ctx, g, &node(), 4).await },
+        );
         sim.run().assert_completed();
         assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
         assert_eq!(h.try_result().unwrap().tasks, 4);
@@ -473,9 +472,10 @@ mod tests {
                 );
             }
         }
-        let h = sim.spawn("run", async move {
-            run_fork_join(&ctx, g, &node(), 4).await
-        });
+        let h = sim.spawn(
+            "run",
+            async move { run_fork_join(&ctx, g, &node(), 4).await },
+        );
         sim.run().assert_completed();
         let _ = h.try_result().unwrap();
         let l = log.borrow();
@@ -497,9 +497,10 @@ mod tests {
         for i in 0..6 {
             g.add_task("t", &[(RegionId(i % 2), Access::InOut)], fixed(10), 0, None);
         }
-        let h = sim.spawn("run", async move {
-            run_dataflow(&ctx, g, &node(), 2).await
-        });
+        let h = sim.spawn(
+            "run",
+            async move { run_dataflow(&ctx, g, &node(), 2).await },
+        );
         sim.run().assert_completed();
         let r = h.try_result().unwrap();
         assert_eq!(r.trace.len(), 6);

@@ -18,16 +18,14 @@ struct RandTask {
 }
 
 fn rand_task() -> impl Strategy<Value = RandTask> {
-    (
-        prop::collection::vec((0u64..6, 0u8..3), 1..4),
-        1u64..500,
-    )
-        .prop_map(|(mut accesses, cost_ns)| {
+    (prop::collection::vec((0u64..6, 0u8..3), 1..4), 1u64..500).prop_map(
+        |(mut accesses, cost_ns)| {
             // A task may touch each region only once; dedupe by region.
             accesses.sort_by_key(|a| a.0);
             accesses.dedup_by_key(|a| a.0);
             RandTask { accesses, cost_ns }
-        })
+        },
+    )
 }
 
 /// Sequentially execute the access semantics: regions hold the id of
@@ -50,9 +48,11 @@ fn sequential_reads(tasks: &[RandTask]) -> Vec<Vec<(u64, i64)>> {
     observed
 }
 
+type Observed = Rc<RefCell<Vec<Vec<(u64, i64)>>>>;
+
 fn build_graph(
     tasks: &[RandTask],
-    observed: Rc<RefCell<Vec<Vec<(u64, i64)>>>>,
+    observed: Observed,
     region_val: Rc<RefCell<std::collections::HashMap<u64, i64>>>,
 ) -> TaskGraph {
     let mut g = TaskGraph::new();

@@ -43,9 +43,7 @@ impl NetModel {
 
     /// Time of one point-to-point message of `bytes`.
     pub fn p2p(&self, bytes: u64) -> SimDuration {
-        self.latency
-            + self.overhead
-            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+        self.latency + self.overhead + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
     }
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds of small messages.

@@ -79,7 +79,8 @@ impl MpiCtx {
         while mask > 0 {
             if vrank & (mask - 1) == 0 && vrank & mask == 0 && vrank + mask < n {
                 let child = ((vrank | mask) + root) % n;
-                self.send(comm, child, TAG_BCAST, value.clone(), bytes).await;
+                self.send(comm, child, TAG_BCAST, value.clone(), bytes)
+                    .await;
             }
             mask >>= 1;
         }
@@ -114,7 +115,8 @@ impl MpiCtx {
                 }
             } else {
                 let parent = ((vrank ^ mask) + root) % n;
-                self.send(comm, parent, TAG_REDUCE, acc.clone(), bytes).await;
+                self.send(comm, parent, TAG_REDUCE, acc.clone(), bytes)
+                    .await;
                 break;
             }
             mask <<= 1;
@@ -172,7 +174,8 @@ impl MpiCtx {
             acc
         } else {
             let partial = self.reduce(comm, 0, op, contrib, bytes).await;
-            self.bcast(comm, 0, partial.unwrap_or(Value::Unit), bytes).await
+            self.bcast(comm, 0, partial.unwrap_or(Value::Unit), bytes)
+                .await
         }
     }
 
@@ -201,7 +204,11 @@ impl MpiCtx {
             for (r, req) in reqs {
                 out[r as usize] = Some(req.wait().await.value);
             }
-            Some(out.into_iter().map(|v| v.expect("every rank reported")).collect())
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("every rank reported"))
+                    .collect(),
+            )
         } else {
             self.send(comm, root, TAG_GATHER, contrib, bytes).await;
             None
@@ -263,7 +270,9 @@ impl MpiCtx {
             out[origin as usize] = Some(msg.value.clone());
             carry = msg.value;
         }
-        out.into_iter().map(|v| v.expect("ring visits every block")).collect()
+        out.into_iter()
+            .map(|v| v.expect("ring visits every block"))
+            .collect()
     }
 
     /// Pairwise alltoall; `values[r]` goes to rank `r`, result`[r]` came
@@ -290,7 +299,9 @@ impl MpiCtx {
                 .await;
             out[src as usize] = Some(msg.value);
         }
-        out.into_iter().map(|v| v.expect("all rounds completed")).collect()
+        out.into_iter()
+            .map(|v| v.expect("all rounds completed"))
+            .collect()
     }
 
     /// Collective communicator split (`MPI_Comm_split`): ranks with equal
@@ -448,7 +459,8 @@ impl MpiCtx {
             acc = op.combine(&msg.value, &acc);
         }
         if rank + 1 < n {
-            self.send(comm, rank + 1, TAG_SCAN, acc.clone(), bytes).await;
+            self.send(comm, rank + 1, TAG_SCAN, acc.clone(), bytes)
+                .await;
         }
         acc
     }

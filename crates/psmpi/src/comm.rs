@@ -58,12 +58,7 @@ impl Comm {
     }
 
     /// Build an inter-communicator (local group + remote group).
-    pub fn inter(
-        context: u64,
-        local: Rc<Vec<EpId>>,
-        my_rank: u32,
-        remote: Rc<Vec<EpId>>,
-    ) -> Comm {
+    pub fn inter(context: u64, local: Rc<Vec<EpId>>, my_rank: u32, remote: Rc<Vec<EpId>>) -> Comm {
         Comm {
             context,
             members: local,
@@ -346,6 +341,7 @@ impl MpiCtx {
     }
 
     /// Combined send+receive (deadlock-free exchange).
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Sendrecv signature
     pub async fn sendrecv(
         &self,
         comm: &Comm,

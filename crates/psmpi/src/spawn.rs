@@ -23,6 +23,10 @@ use crate::wire::{EpId, LocalBoxFuture};
 
 const TAG_SPAWN: u32 = TAG_INTERNAL_BASE + 64;
 
+/// What the root learns from the process manager: the inter-communicator
+/// context id plus the endpoints of the spawned world.
+type SpawnOutcome = Result<(u64, Rc<Vec<EpId>>), SpawnError>;
+
 /// Why a spawn failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpawnError {
@@ -128,7 +132,7 @@ impl MpiCtx {
         root: u32,
     ) -> Result<Comm, SpawnError> {
         let uni = self.universe().clone();
-        let mut outcome: Option<Result<(u64, Rc<Vec<EpId>>), SpawnError>> = None;
+        let mut outcome: Option<SpawnOutcome> = None;
 
         if comm.rank() == root {
             outcome = Some(self.spawn_at_root(comm, command, maxprocs, pool).await);
@@ -161,12 +165,8 @@ impl MpiCtx {
             };
         }
         let inter_ctx = items[1].as_u64();
-        let children: Rc<Vec<EpId>> = Rc::new(
-            items[2..]
-                .iter()
-                .map(|v| EpId(v.as_u64() as u32))
-                .collect(),
-        );
+        let children: Rc<Vec<EpId>> =
+            Rc::new(items[2..].iter().map(|v| EpId(v.as_u64() as u32)).collect());
         Ok(Comm::inter(
             inter_ctx,
             comm.members().clone(),
@@ -183,7 +183,7 @@ impl MpiCtx {
         command: &str,
         maxprocs: u32,
         pool: &str,
-    ) -> Result<(u64, Rc<Vec<EpId>>), SpawnError> {
+    ) -> SpawnOutcome {
         let uni = self.universe().clone();
         // Fixed process-manager negotiation cost.
         self.sim().sleep(uni.params.spawn_base).await;
@@ -290,8 +290,13 @@ mod tests {
                         .await;
                     if m.rank() == 0 {
                         let parent = m.parent().unwrap().clone();
-                        m.send_val(&parent, 0, 7, Value::U64(total.as_u64() * 100 + m.size() as u64))
-                            .await;
+                        m.send_val(
+                            &parent,
+                            0,
+                            7,
+                            Value::U64(total.as_u64() * 100 + m.size() as u64),
+                        )
+                        .await;
                     }
                 })
             }),

@@ -413,7 +413,10 @@ mod tests {
             u3.deposit(EpId(1), e2);
         });
         sim.run().assert_completed();
-        let results: Vec<_> = handles.into_iter().map(|h| h.try_result().unwrap()).collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.try_result().unwrap())
+            .collect();
         // First posted receive gets the first message.
         assert!(results.contains(&(0, 100)));
         assert!(results.contains(&(1, 200)));

@@ -130,7 +130,10 @@ impl ReduceOp {
             (Value::VecF64(x), Value::VecF64(y)) => {
                 assert_eq!(x.len(), y.len(), "reduce on mismatched vector lengths");
                 Value::VecF64(Rc::new(
-                    x.iter().zip(y.iter()).map(|(&p, &q)| self.fold_f64(p, q)).collect(),
+                    x.iter()
+                        .zip(y.iter())
+                        .map(|(&p, &q)| self.fold_f64(p, q))
+                        .collect(),
                 ))
             }
             (p, q) => panic!("cannot reduce {p:?} with {q:?}"),
@@ -144,10 +147,22 @@ mod tests {
 
     #[test]
     fn combine_scalars() {
-        assert_eq!(ReduceOp::Sum.combine(&Value::F64(1.5), &Value::F64(2.5)), Value::F64(4.0));
-        assert_eq!(ReduceOp::Max.combine(&Value::U64(3), &Value::U64(9)), Value::U64(9));
-        assert_eq!(ReduceOp::Min.combine(&Value::U64(3), &Value::U64(9)), Value::U64(3));
-        assert_eq!(ReduceOp::Prod.combine(&Value::F64(3.0), &Value::F64(4.0)), Value::F64(12.0));
+        assert_eq!(
+            ReduceOp::Sum.combine(&Value::F64(1.5), &Value::F64(2.5)),
+            Value::F64(4.0)
+        );
+        assert_eq!(
+            ReduceOp::Max.combine(&Value::U64(3), &Value::U64(9)),
+            Value::U64(9)
+        );
+        assert_eq!(
+            ReduceOp::Min.combine(&Value::U64(3), &Value::U64(9)),
+            Value::U64(3)
+        );
+        assert_eq!(
+            ReduceOp::Prod.combine(&Value::F64(3.0), &Value::F64(4.0)),
+            Value::F64(12.0)
+        );
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl Wire for IbWire {
         dst: EpId,
         bytes: u64,
     ) -> LocalBoxFuture<'_, Result<TransferStats, LinkFailure>> {
-        Box::pin(async move {
-            self.fabric
-                .send(NodeId(src.0), NodeId(dst.0), bytes)
-                .await
-        })
+        Box::pin(async move { self.fabric.send(NodeId(src.0), NodeId(dst.0), bytes).await })
     }
 
     fn name(&self) -> &str {
@@ -136,12 +132,13 @@ impl Wire for IdealWire {
     ) -> LocalBoxFuture<'_, Result<TransferStats, LinkFailure>> {
         Box::pin(async move {
             let start = self.sim.now();
-            let ser =
-                deep_simkit::SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
+            let ser = deep_simkit::SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
             let mut completion = start + self.latency + ser;
             {
                 let mut last = self.last_delivery.borrow_mut();
-                let slot = last.entry((src.0, dst.0)).or_insert(deep_simkit::SimTime::ZERO);
+                let slot = last
+                    .entry((src.0, dst.0))
+                    .or_insert(deep_simkit::SimTime::ZERO);
                 if completion < *slot {
                     completion = *slot; // FIFO per ordered pair
                 }

@@ -41,7 +41,11 @@ fn run_ranks_seeded<T: Clone + 'static>(
         })
     });
     sim.run().assert_completed();
-    let out = results.borrow_mut().iter_mut().map(|v| v.take().unwrap()).collect();
+    let out = results
+        .borrow_mut()
+        .iter_mut()
+        .map(|v| v.take().unwrap())
+        .collect();
     out
 }
 
@@ -92,7 +96,11 @@ fn p2p_rendezvous_large_message() {
         })
     });
     // Sender blocked ≥ 1 ms (until the late receiver posted).
-    assert!(res[0] >= 1_000_000.0, "rendezvous send must block: {}", res[0]);
+    assert!(
+        res[0] >= 1_000_000.0,
+        "rendezvous send must block: {}",
+        res[0]
+    );
 }
 
 #[test]
@@ -255,7 +263,8 @@ fn gather_collects_in_rank_order() {
         let res = run_ranks(n, move |m| {
             Box::pin(async move {
                 let world = m.world().clone();
-                m.gather(&world, 0, Value::U64(m.rank() as u64 * 7), 8).await
+                m.gather(&world, 0, Value::U64(m.rank() as u64 * 7), 8)
+                    .await
             })
         });
         let got = res[0].as_ref().unwrap();
@@ -288,7 +297,8 @@ fn allgather_everyone_sees_everything() {
         let res = run_ranks(n, move |m| {
             Box::pin(async move {
                 let world = m.world().clone();
-                m.allgather(&world, Value::U64(m.rank() as u64 + 100), 8).await
+                m.allgather(&world, Value::U64(m.rank() as u64 + 100), 8)
+                    .await
             })
         });
         for (r, blocks) in res.iter().enumerate() {
@@ -343,7 +353,7 @@ fn comm_split_groups_by_color_and_orders_by_key() {
     });
     for (r, &(size, sub_rank, total)) in res.iter().enumerate() {
         assert_eq!(size, 4);
-        let expect_total = if r % 2 == 0 { 0 + 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
+        let expect_total = if r % 2 == 0 { 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
         assert_eq!(total, expect_total, "rank {r}");
         // Reverse key ordering: highest old rank gets sub-rank 0.
         let group: Vec<u32> = (0..8u32).filter(|x| x % 2 == r as u32 % 2).collect();
@@ -496,10 +506,17 @@ fn ring_allreduce_matches_recursive_doubling() {
     let res = run_ranks(4, move |m| {
         Box::pin(async move {
             let world = m.world().clone();
-            let mine: Vec<f64> = (0..len).map(|i| (m.rank() as f64 + 1.0) * (i % 7) as f64).collect();
+            let mine: Vec<f64> = (0..len)
+                .map(|i| (m.rank() as f64 + 1.0) * (i % 7) as f64)
+                .collect();
             // Large payload → ring path.
             let big = m
-                .allreduce(&world, ReduceOp::Sum, Value::vec(mine.clone()), 8 * len as u64)
+                .allreduce(
+                    &world,
+                    ReduceOp::Sum,
+                    Value::vec(mine.clone()),
+                    8 * len as u64,
+                )
                 .await;
             // Force the recursive-doubling path by lying about the size.
             let small = m
@@ -594,7 +611,11 @@ fn ibarrier_and_ibcast_complete() {
             let world = m.world().clone();
             let b = m.ibarrier(&world);
             b.wait().await;
-            let v = if m.rank() == 1 { Value::U64(99) } else { Value::Unit };
+            let v = if m.rank() == 1 {
+                Value::U64(99)
+            } else {
+                Value::Unit
+            };
             let r = m.ibcast(&world, 1, v, 8);
             r.wait().await.as_u64()
         })

@@ -330,10 +330,7 @@ impl ResMgr {
             }
 
             // Job starts: FCFS head first.
-            loop {
-                let Some(head) = st.start_queue.front() else {
-                    break;
-                };
+            while let Some(head) = st.start_queue.front() {
                 if st.cn_free >= head.cn && st.bn_free >= head.bn {
                     let req = st.start_queue.pop_front().unwrap();
                     st.cn_free -= req.cn;

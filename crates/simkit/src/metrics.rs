@@ -43,7 +43,11 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
@@ -185,7 +189,10 @@ impl Metrics {
 
     /// Append a `(time, value)` point to a named series.
     pub fn push_series(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series.entry(name.to_string()).or_default().push((t, v));
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((t, v));
     }
 
     /// Read a series by name.

@@ -413,7 +413,8 @@ mod tests {
             let log = log.clone();
             sim.spawn(format!("p{i}"), async move {
                 for step in 0..3u64 {
-                    ctx.sleep(SimDuration::nanos(10 * (step + 1) + i as u64)).await;
+                    ctx.sleep(SimDuration::nanos(10 * (step + 1) + i as u64))
+                        .await;
                     log.borrow_mut().push((ctx.now().as_nanos(), i));
                 }
             });

@@ -139,7 +139,11 @@ impl Future for AcquireFut<'_> {
         if this.enqueued {
             // We are woken only after release_many already granted our
             // permits and removed us from the queue.
-            if st.waiters.iter().any(|&(p, _)| p == this.sem.sim.current_proc()) {
+            if st
+                .waiters
+                .iter()
+                .any(|&(p, _)| p == this.sem.sim.current_proc())
+            {
                 return Poll::Pending; // spurious wake while still queued
             }
             return Poll::Ready(());
@@ -336,7 +340,8 @@ mod tests {
         let mut sim = Simulation::new(1);
         let ctx = sim.handle();
         let sem = Semaphore::new(&ctx, 1);
-        let log: Rc<RefCell<Vec<(u64, usize, &'static str)>>> = Rc::new(RefCell::new(Vec::new()));
+        type EventLog = Rc<RefCell<Vec<(u64, usize, &'static str)>>>;
+        let log: EventLog = Rc::new(RefCell::new(Vec::new()));
         for i in 0..3 {
             let ctx = ctx.clone();
             let sem = sem.clone();

@@ -73,7 +73,10 @@ fn main() {
     let mut sim = Simulation::new(1);
     let ctx = sim.handle();
     let node2 = node.clone();
-    let h = sim.spawn("df", async move { run_dataflow(&ctx, g, &node2, workers).await });
+    let h = sim.spawn(
+        "df",
+        async move { run_dataflow(&ctx, g, &node2, workers).await },
+    );
     sim.run().assert_completed();
     let df = h.try_result().unwrap();
 
@@ -81,7 +84,9 @@ fn main() {
     let g2 = cholesky_graph(&m2);
     let mut sim2 = Simulation::new(1);
     let ctx2 = sim2.handle();
-    let h2 = sim2.spawn("fj", async move { run_fork_join(&ctx2, g2, &node, workers).await });
+    let h2 = sim2.spawn("fj", async move {
+        run_fork_join(&ctx2, g2, &node, workers).await
+    });
     sim2.run().assert_completed();
     let fj = h2.try_result().unwrap();
 

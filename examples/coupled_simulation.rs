@@ -48,11 +48,10 @@ fn main() {
         ],
     );
     for r in &reports {
-        let avg = if r.acc_messages > 0 {
-            fmt_bytes(r.acc_bytes / r.acc_messages)
-        } else {
-            "-".into()
-        };
+        let avg = r
+            .acc_bytes
+            .checked_div(r.acc_messages)
+            .map_or_else(|| "-".into(), fmt_bytes);
         t.row(&[
             r.arch.clone(),
             r.cluster_nodes.to_string(),

@@ -23,9 +23,7 @@ fn main() {
                 let world = m.world().clone();
                 let inter = m.parent().unwrap().clone();
                 // Children get their own MPI_COMM_WORLD (slide 26).
-                let child_sum = m
-                    .allreduce(&world, ReduceOp::Sum, Value::U64(1), 8)
-                    .await;
+                let child_sum = m.allreduce(&world, ReduceOp::Sum, Value::U64(1), 8).await;
                 if m.rank() == 0 {
                     println!(
                         "[booster] world size {} (sum check {})",
@@ -35,9 +33,7 @@ fn main() {
                 }
                 // high=true: booster ranks come after the cluster ranks.
                 let global = m.intercomm_merge(&inter, true);
-                let everyone = m
-                    .allreduce(&global, ReduceOp::Sum, Value::U64(1), 8)
-                    .await;
+                let everyone = m.allreduce(&global, ReduceOp::Sum, Value::U64(1), 8).await;
                 if m.rank() == 0 {
                     println!(
                         "[booster] merged global world has {} ranks",
@@ -83,9 +79,7 @@ fn main() {
                 .await
                 .expect("spawn");
             let global = m.intercomm_merge(&inter, false);
-            let everyone = m
-                .allreduce(&global, ReduceOp::Sum, Value::U64(1), 8)
-                .await;
+            let everyone = m.allreduce(&global, ReduceOp::Sum, Value::U64(1), 8).await;
             if m.rank() == 0 {
                 println!(
                     "[cluster] merged global world has {} ranks ({} cluster + {} booster)",

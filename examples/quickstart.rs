@@ -71,9 +71,7 @@ fn main() {
             );
 
             // A cluster-side collective for good measure.
-            let total = mpi
-                .allreduce(&world, ReduceOp::Sum, Value::U64(1), 8)
-                .await;
+            let total = mpi.allreduce(&world, ReduceOp::Sum, Value::U64(1), 8).await;
             if mpi.rank() == 0 {
                 println!(
                     "[{}] allreduce says {} cluster ranks are alive",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (deny warnings), tests.
+# Run from the workspace root before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

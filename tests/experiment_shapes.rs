@@ -76,7 +76,11 @@ fn f09_scalability_classes() {
         compute.as_secs_f64() / t.as_secs_f64()
     };
     assert!(spmv(1 << 18) > 0.6, "SpMV class at 262k: {}", spmv(1 << 18));
-    assert!(complex(1 << 12) < 0.4, "complex at 4k: {}", complex(1 << 12));
+    assert!(
+        complex(1 << 12) < 0.4,
+        "complex at 4k: {}",
+        complex(1 << 12)
+    );
     assert!(complex(1 << 8) > complex(1 << 12), "monotone collapse");
 }
 
@@ -122,7 +126,11 @@ fn f15_energy_efficiency() {
     let e_knc = eff(&knc, &t_knc);
     let e_xeon = eff(&xeon, &t_xeon);
     assert!((3.0..5.5).contains(&e_knc), "KNC achieved {e_knc} GF/W");
-    assert!((3.5..6.5).contains(&(e_knc / e_xeon)), "ratio {}", e_knc / e_xeon);
+    assert!(
+        (3.5..6.5).contains(&(e_knc / e_xeon)),
+        "ratio {}",
+        e_knc / e_xeon
+    );
 }
 
 /// F16: VELO latency is sub-µs; RMA bulk goodput >95% of the link.
@@ -147,7 +155,11 @@ fn f21_spawn_sublinear() {
     fn spawn_time(n: u32) -> f64 {
         let mut sim = deep_simkit::Simulation::new(1);
         let ctx = sim.handle();
-        let wire = Rc::new(IdealWire::new(&ctx, deep_simkit::SimDuration::micros(1), 5e9));
+        let wire = Rc::new(IdealWire::new(
+            &ctx,
+            deep_simkit::SimDuration::micros(1),
+            5e9,
+        ));
         let uni = Universe::new(&ctx, wire, 1 + n as usize, MpiParams::default());
         uni.add_pool("b", (1..=n).map(EpId).collect());
         uni.register_app("noop", Rc::new(|_m| Box::pin(async {})));
@@ -191,7 +203,12 @@ fn f22_dynamic_beats_static() {
     );
     let s = deep_resmgr::run_workload(1, 8, 16, Policy::StaticFcfs, mix.clone());
     let d = deep_resmgr::run_workload(1, 8, 16, Policy::DynamicFcfs, mix);
-    assert!(d.makespan < s.makespan, "{:?} vs {:?}", d.makespan, s.makespan);
+    assert!(
+        d.makespan < s.makespan,
+        "{:?} vs {:?}",
+        d.makespan,
+        s.makespan
+    );
     assert!(d.bn_utilization > s.bn_utilization);
     assert!(s.bn_allocated > s.bn_utilization + 0.1, "static hoards");
 }
@@ -256,4 +273,118 @@ fn f29_bridge_latency_overhead() {
         cb.as_nanos() < 4 * cc.as_nanos(),
         "but bounded: {cb} vs {cc}"
     );
+}
+
+/// ER01: on the simulated machine, an L1 (node-local NVM) checkpoint of
+/// the same state is at least 5x faster than draining it through the BI
+/// bridges onto the PFS (L3).
+#[test]
+fn er01_l1_checkpoint_beats_l3_by_5x() {
+    use deep_core::measure_level_costs;
+
+    let costs = measure_level_costs(&DeepConfig::small(), 8, 64 << 20, 1);
+    assert!(costs[0].write_s > 0.0);
+    assert!(
+        costs[2].write_s >= 5.0 * costs[0].write_s,
+        "L3 {}s vs L1 {}s",
+        costs[2].write_s,
+        costs[0].write_s
+    );
+}
+
+/// ER01: with measured level costs, the L1/L2/L3 rotation keeps its
+/// efficiency within 10% of the L1-only policy under mild failures, yet
+/// survives injected multi-node failures that L1-only cannot recover
+/// from (L1-only loses all progress at every such event).
+#[test]
+fn er01_multilevel_survives_what_l1_only_cannot() {
+    use deep_core::{mean_multilevel_efficiency, measure_level_costs, MultiLevelParams};
+
+    let costs = measure_level_costs(&DeepConfig::small(), 8, 64 << 20, 1);
+    let base = MultiLevelParams {
+        work_s: 100_000.0,
+        n_nodes: 640,
+        mtbf_node_s: 0.45 * 365.0 * 86_400.0,
+        interval_s: 600.0,
+        levels: costs,
+        l2_every: 4,
+        l3_every: 16,
+        restart_s: 120.0,
+        severity_weights: [0.7, 0.25, 0.05],
+    };
+
+    // Mild failures (mostly transient): rotation within 10% of L1-only.
+    let mut mild = base;
+    mild.severity_weights = [1.0, 0.0, 0.0];
+    let rotation = mean_multilevel_efficiency(&mild, 7, 8);
+    let l1_only = mean_multilevel_efficiency(&mild.l1_only(), 7, 8);
+    assert_eq!(rotation.truncated_runs, 0);
+    assert!(
+        rotation.efficiency > 0.9 * l1_only.efficiency,
+        "rotation {} vs L1-only {}",
+        rotation.efficiency,
+        l1_only.efficiency
+    );
+
+    // Multi-node failures in the mix: L1-only collapses (every such
+    // event erases all progress), the rotation recovers from L2/L3.
+    // Flakier machine so each run sees several multi-node events.
+    let mut harsh = base;
+    harsh.mtbf_node_s = 0.1 * 365.0 * 86_400.0;
+    harsh.severity_weights = [0.5, 0.3, 0.2];
+    let rotation = mean_multilevel_efficiency(&harsh, 7, 8);
+    let l1_only = mean_multilevel_efficiency(&harsh.l1_only(), 7, 8);
+    assert_eq!(rotation.truncated_runs, 0, "rotation must always finish");
+    assert!(
+        rotation.efficiency > 1.5 * l1_only.efficiency.max(1e-9),
+        "rotation {} must dominate L1-only {} under multi-node failures",
+        rotation.efficiency,
+        l1_only.efficiency
+    );
+}
+
+/// ER02: the shared-file (N-1) pattern collapses against SIONlib on the
+/// same PFS — per-block metadata locking plus alignment padding — while
+/// the SION container needs exactly one metadata operation.
+#[test]
+fn er02_sion_restores_task_local_performance() {
+    use deep_fabric::NodeId;
+    use deep_io::{FileLayerParams, WritePattern};
+
+    let run = |pattern: WritePattern| {
+        let mut sim = deep_simkit::Simulation::new(17);
+        let ctx = sim.handle();
+        let mut cfg = DeepConfig::small();
+        cfg.storage.file_layer = FileLayerParams {
+            shared_block_bytes: 1 << 19,
+            ..FileLayerParams::default()
+        };
+        let machine = deep_core::DeepMachine::build(&ctx, cfg);
+        let layer = machine.file_layer();
+        let clients: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let l = layer.clone();
+        let h = sim.spawn("phase", async move {
+            l.write_phase(&clients, 8 << 20, pattern).await
+        });
+        sim.run().assert_completed();
+        h.try_result().unwrap()
+    };
+
+    let sion = run(WritePattern::Sion);
+    let shared = run(WritePattern::SharedFile);
+    let local = run(WritePattern::TaskLocal);
+    assert_eq!(sion.meta_ops, 1);
+    assert!(
+        sion.goodput_bps() > 2.0 * shared.goodput_bps(),
+        "SION {} vs shared {}",
+        sion.goodput_bps(),
+        shared.goodput_bps()
+    );
+    assert!(
+        sion.goodput_bps() >= 0.95 * local.goodput_bps(),
+        "SION {} should match task-local {}",
+        sion.goodput_bps(),
+        local.goodput_bps()
+    );
+    assert!(shared.physical_bytes > shared.payload_bytes, "padding");
 }

@@ -71,12 +71,7 @@ fn numeric_payloads_cross_the_bridge_intact() {
                     let doubled: Vec<f64> = msg.value.as_vec().iter().map(|x| x * 2.0).collect();
                     // Share with the whole booster world, reduce, return.
                     let total = m
-                        .allreduce(
-                            &world,
-                            ReduceOp::Sum,
-                            Value::F64(doubled.iter().sum()),
-                            8,
-                        )
+                        .allreduce(&world, ReduceOp::Sum, Value::F64(doubled.iter().sum()), 8)
                         .await;
                     m.send_val(&parent, 0, 6, Value::vec(doubled)).await;
                     m.send_val(&parent, 0, 7, total).await;
@@ -211,9 +206,7 @@ fn two_apps_share_the_booster_pool() {
             Box::pin(async move {
                 let world = m.world().clone();
                 let parent = m.parent().unwrap().clone();
-                let sum = m
-                    .allreduce(&world, ReduceOp::Sum, Value::U64(1), 8)
-                    .await;
+                let sum = m.allreduce(&world, ReduceOp::Sum, Value::U64(1), 8).await;
                 if m.rank() == 0 {
                     m.send_val(&parent, 0, 3, sum).await;
                 }
@@ -226,8 +219,14 @@ fn two_apps_share_the_booster_pool() {
         let results = r2.clone();
         Box::pin(async move {
             let world = m.world().clone();
-            let a = m.comm_spawn(&world, "worker", 5, BOOSTER_POOL, 0).await.unwrap();
-            let b = m.comm_spawn(&world, "worker", 3, BOOSTER_POOL, 0).await.unwrap();
+            let a = m
+                .comm_spawn(&world, "worker", 5, BOOSTER_POOL, 0)
+                .await
+                .unwrap();
+            let b = m
+                .comm_spawn(&world, "worker", 3, BOOSTER_POOL, 0)
+                .await
+                .unwrap();
             // A third spawn must fail: the pool is empty.
             let err = m.comm_spawn(&world, "worker", 1, BOOSTER_POOL, 0).await;
             assert!(err.is_err(), "pool must be exhausted");
@@ -294,9 +293,7 @@ fn hybrid_dataflow_offloads_booster_tasks_through_the_machine() {
     // Slides 30-31: a task graph whose device(booster) tasks transparently
     // execute on the spawned booster world while host tasks keep local
     // workers busy.
-    use deep_ompss::{
-        run_hybrid_dataflow, Access, Device, RegionId, TaskCost, TaskGraph,
-    };
+    use deep_ompss::{run_hybrid_dataflow, Access, Device, RegionId, TaskCost, TaskGraph};
     use deep_simkit::SimDuration;
 
     let mut sim = Simulation::new(5);

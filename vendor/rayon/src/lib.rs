@@ -1,0 +1,53 @@
+//! Offline shim of the [rayon](https://crates.io/crates/rayon) API surface
+//! used by this workspace.
+//!
+//! The build environment has no registry access, so `par_iter()` here is a
+//! sequential iterator with the same method chain. Call sites keep their
+//! parallel shape (`use rayon::prelude::*; xs.par_iter().map(..).collect()`)
+//! and regain real parallelism the moment the genuine crate is swapped
+//! back in; results are identical either way because callers must not
+//! depend on execution order.
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod prelude {
+    /// `par_iter()` for shared references — sequential in the shim.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element reference type.
+        type Item: 'a;
+        /// Iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate (sequentially in the shim) over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}
