@@ -37,6 +37,45 @@ pub enum BiSelect {
     LeastLoaded,
 }
 
+/// Retry/failover policy for bridged chunks.
+///
+/// A failed chunk (link retries exhausted, a crashed node on a leg, a
+/// NIC drop, or an attempt timeout) is retried after exponential backoff
+/// — `base_backoff · 2^(attempt−1)` — and each retry prefers a
+/// *different, healthy* BI (failover). BIs whose IB host or EXTOLL entry
+/// node is marked down are skipped entirely.
+#[derive(Debug, Clone)]
+pub struct CbpRetry {
+    /// Total attempts per chunk (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: SimDuration,
+    /// Optional per-attempt deadline (on `simkit::timeout`); an attempt
+    /// that overruns it is abandoned and counts as failed.
+    pub attempt_timeout: Option<SimDuration>,
+}
+
+impl Default for CbpRetry {
+    fn default() -> Self {
+        CbpRetry {
+            max_attempts: 3,
+            base_backoff: SimDuration::micros(10),
+            attempt_timeout: None,
+        }
+    }
+}
+
+/// Counters for the bridge's fault handling.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CbpFaultStats {
+    /// Chunk attempts that failed and were retried.
+    pub retries: u64,
+    /// Retries that moved to a different BI.
+    pub failovers: u64,
+    /// Attempts abandoned on the per-attempt deadline.
+    pub timeouts: u64,
+}
+
 /// Placement and tuning of the bridge.
 #[derive(Debug, Clone)]
 pub struct CbpConfig {
@@ -55,6 +94,8 @@ pub struct CbpConfig {
     pub stripe_threshold: u64,
     /// BI selection policy for unstriped flows.
     pub bi_select: BiSelect,
+    /// Retry/failover policy for bridged chunks.
+    pub retry: CbpRetry,
 }
 
 impl CbpConfig {
@@ -68,6 +109,7 @@ impl CbpConfig {
             bi_buffer_bytes: 8 << 20,
             stripe_threshold: 4 << 20,
             bi_select: BiSelect::FlowHash,
+            retry: CbpRetry::default(),
         }
     }
 }
@@ -96,6 +138,7 @@ pub struct CbpWire {
     cfg: CbpConfig,
     bis: Vec<Rc<BiState>>,
     bridged: RefCell<BiStats>,
+    faults: RefCell<CbpFaultStats>,
 }
 
 /// Which side an endpoint lives on.
@@ -147,6 +190,7 @@ impl CbpWire {
             cfg,
             bis,
             bridged: RefCell::new(BiStats::default()),
+            faults: RefCell::new(CbpFaultStats::default()),
         })
     }
 
@@ -198,6 +242,32 @@ impl CbpWire {
         self.bis.iter().map(|b| b.stats.borrow().clone()).collect()
     }
 
+    /// Fault-handling counters (retries, failovers, timeouts).
+    pub fn fault_stats(&self) -> CbpFaultStats {
+        self.faults.borrow().clone()
+    }
+
+    /// The (IB host, EXTOLL entry) placement of each BI, for fault
+    /// injectors that target BI nodes.
+    pub fn bi_nodes(&self) -> Vec<(NodeId, NodeId)> {
+        self.bis.iter().map(|b| (b.ib_host, b.entry)).collect()
+    }
+
+    /// True if BI `i` is currently usable (neither of its nodes down).
+    pub fn bi_healthy(&self, i: usize) -> bool {
+        let bi = &self.bis[i];
+        !self.ib.is_node_down(bi.ib_host) && !self.extoll.is_node_down(bi.entry)
+    }
+
+    /// First healthy BI at or after `preferred + shift` (wrapping), or
+    /// `None` if every BI is down.
+    fn healthy_bi(&self, preferred: usize, shift: usize) -> Option<usize> {
+        let n = self.bis.len();
+        (0..n)
+            .map(|k| (preferred + shift + k) % n)
+            .find(|&i| self.bi_healthy(i))
+    }
+
     /// Choose the BI for an unstriped flow, per the configured policy.
     fn bi_for_flow(&self, src: EpId, dst: EpId) -> usize {
         match self.cfg.bi_select {
@@ -222,6 +292,68 @@ impl CbpWire {
         }
     }
 
+    /// Carry one chunk, retrying with exponential backoff and failing
+    /// over to another healthy BI per the configured [`CbpRetry`].
+    async fn bridge_chunk(
+        self: Rc<Self>,
+        preferred: usize,
+        from: Side,
+        to: Side,
+        bytes: u64,
+    ) -> Result<TransferStats, LinkFailure> {
+        let retry = self.cfg.retry.clone();
+        let mut last_err = LinkFailure {
+            link: LinkFailure::NO_LINK,
+        };
+        let mut prev_idx = None;
+        for attempt in 0..retry.max_attempts.max(1) {
+            // Rotate away from the BI that just failed us.
+            let idx = match self.healthy_bi(preferred, attempt as usize) {
+                Some(i) => i,
+                None => {
+                    self.sim
+                        .emit("cbp", "no-bi", || "every BI is down".to_string());
+                    return Err(last_err);
+                }
+            };
+            if attempt > 0 {
+                let backoff =
+                    SimDuration::nanos(retry.base_backoff.as_nanos() << (attempt - 1).min(20));
+                self.sim.sleep(backoff).await;
+                self.faults.borrow_mut().retries += 1;
+                if prev_idx.is_some_and(|p| p != idx) {
+                    self.faults.borrow_mut().failovers += 1;
+                }
+                self.sim.emit("cbp", "retry", || {
+                    format!("attempt {} via BI {idx} after {last_err:?}", attempt + 1)
+                });
+            }
+            prev_idx = Some(idx);
+            let bi = self.bis[idx].clone();
+            let once = self.clone().bridge_chunk_once(bi, from, to, bytes);
+            let res = match retry.attempt_timeout {
+                Some(t) => match self.sim.timeout(t, once).await {
+                    Some(r) => r,
+                    None => {
+                        self.faults.borrow_mut().timeouts += 1;
+                        self.sim.emit("cbp", "timeout", || {
+                            format!("chunk attempt {} via BI {idx} timed out", attempt + 1)
+                        });
+                        Err(LinkFailure {
+                            link: LinkFailure::NO_LINK,
+                        })
+                    }
+                },
+                None => once.await,
+            };
+            match res {
+                Ok(st) => return Ok(st),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
     /// Carry one chunk through one BI.
     ///
     /// The SMFU streams: the chunk is cut into pipeline segments; while
@@ -229,7 +361,7 @@ impl CbpWire {
     /// occupies the first one. Credits (BI buffer space) are held per
     /// segment from first-leg start to second-leg completion, so a slow
     /// egress side back-pressures the ingress side.
-    async fn bridge_chunk(
+    async fn bridge_chunk_once(
         self: Rc<Self>,
         bi: Rc<BiState>,
         from: Side,
@@ -314,8 +446,7 @@ impl CbpWire {
                 }
                 let me = self.clone();
                 parts.push(self.sim.spawn(format!("cbp-stripe{i}"), async move {
-                    let bi = me.bis[i].clone();
-                    me.bridge_chunk(bi, from, to, this).await
+                    me.bridge_chunk(i, from, to, this).await
                 }));
             }
             let results = join_all(parts).await;
@@ -331,8 +462,8 @@ impl CbpWire {
                 retransmissions: 0,
             })
         } else {
-            let bi = self.bis[self.bi_for_flow(src, dst)].clone();
-            let mut st = self.clone().bridge_chunk(bi, from, to, bytes).await?;
+            let idx = self.bi_for_flow(src, dst);
+            let mut st = self.clone().bridge_chunk(idx, from, to, bytes).await?;
             st.elapsed = self.sim.now() - start;
             Ok(st)
         }
@@ -578,6 +709,107 @@ mod tests {
         sim.run().assert_completed();
         // Spawn control + result traffic crossed the bridge.
         assert!(w.bridged_traffic().messages > 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use deep_simkit::Simulation;
+
+    fn faulty_machine(sim: &Sim) -> Rc<CbpWire> {
+        let ib = Rc::new(IbFabric::new(sim, 6));
+        let extoll = Rc::new(ExtollFabric::new(sim, (2, 2, 2)));
+        let mut cfg = CbpConfig::new(4, 8, vec![(4, 0), (5, 4)]);
+        cfg.stripe_threshold = u64::MAX; // single-BI flows
+        cfg.bi_select = BiSelect::LeastLoaded; // deterministically BI 0
+        CbpWire::new(sim, ib, extoll, cfg)
+    }
+
+    #[test]
+    fn down_bi_fails_over_to_the_healthy_one() {
+        let mut sim = Simulation::new(11);
+        let ctx = sim.handle();
+        let w = faulty_machine(&ctx);
+        // Kill BI 0's IB host: the selector must route around it with no
+        // failed attempt at all (health is checked before sending).
+        w.ib().set_node_down(NodeId(4), true);
+        let handle = CbpWireHandle(w.clone());
+        let (src, dst) = (w.cluster_ep(0), w.booster_ep(6));
+        let h = sim.spawn(
+            "xfer",
+            async move { handle.transfer(src, dst, 1 << 20).await },
+        );
+        sim.run().assert_completed();
+        assert!(h.try_result().unwrap().is_ok());
+        let per_bi = w.bi_traffic();
+        assert_eq!(per_bi[0].messages, 0, "down BI untouched");
+        assert_eq!(per_bi[1].messages, 1);
+        assert_eq!(w.fault_stats().retries, 0);
+    }
+
+    #[test]
+    fn nic_drop_retries_and_fails_over() {
+        let mut sim = Simulation::new(12);
+        let ctx = sim.handle();
+        let w = faulty_machine(&ctx);
+        // BI 0's IB host drops every message; the node is *not* marked
+        // down, so the first attempt goes there and fails.
+        w.ib().network().set_node_drop_prob(NodeId(4), 1.0);
+        let handle = CbpWireHandle(w.clone());
+        let (src, dst) = (w.cluster_ep(0), w.booster_ep(6));
+        let h = sim.spawn(
+            "xfer",
+            async move { handle.transfer(src, dst, 1 << 20).await },
+        );
+        sim.run().assert_completed();
+        assert!(h.try_result().unwrap().is_ok());
+        let st = w.fault_stats();
+        assert!(st.retries >= 1, "dropped attempt retried: {st:?}");
+        assert!(st.failovers >= 1, "retry moved to the other BI: {st:?}");
+        assert_eq!(w.bi_traffic()[1].messages, 1);
+    }
+
+    #[test]
+    fn all_bis_down_reports_failure_not_hang() {
+        let mut sim = Simulation::new(13);
+        let ctx = sim.handle();
+        let w = faulty_machine(&ctx);
+        w.ib().set_node_down(NodeId(4), true);
+        w.extoll().set_node_down(NodeId(4), true); // BI 1's entry node
+        let handle = CbpWireHandle(w.clone());
+        let (src, dst) = (w.cluster_ep(1), w.booster_ep(3));
+        let h = sim.spawn("xfer", async move { handle.transfer(src, dst, 4096).await });
+        sim.run().assert_completed();
+        assert!(h.try_result().unwrap().is_err());
+    }
+
+    #[test]
+    fn attempt_timeout_abandons_a_stalled_leg() {
+        let mut sim = Simulation::new(14);
+        let ctx = sim.handle();
+        let ib = Rc::new(IbFabric::new(&ctx, 6));
+        let extoll = Rc::new(ExtollFabric::new(&ctx, (2, 2, 2)));
+        let mut cfg = CbpConfig::new(4, 8, vec![(4, 0), (5, 4)]);
+        cfg.stripe_threshold = u64::MAX;
+        cfg.bi_select = BiSelect::LeastLoaded;
+        // 1 MiB at ~GB/s is far above 10 us: every attempt times out.
+        cfg.retry = CbpRetry {
+            max_attempts: 2,
+            base_backoff: SimDuration::micros(1),
+            attempt_timeout: Some(SimDuration::micros(10)),
+        };
+        let w = CbpWire::new(&ctx, ib, extoll, cfg);
+        let handle = CbpWireHandle(w.clone());
+        let (src, dst) = (w.cluster_ep(0), w.booster_ep(6));
+        let h = sim.spawn(
+            "xfer",
+            async move { handle.transfer(src, dst, 1 << 20).await },
+        );
+        sim.run().assert_completed();
+        assert!(h.try_result().unwrap().is_err());
+        let st = w.fault_stats();
+        assert_eq!(st.timeouts, 2, "both attempts timed out: {st:?}");
     }
 }
 

@@ -203,7 +203,9 @@ impl MultiLevelParams {
         self
     }
 
-    fn level_for(&self, count: u64) -> CkptLevel {
+    /// The level the `count`-th checkpoint is written at under the
+    /// rotation (L3 takes precedence over L2 when both divide `count`).
+    pub fn level_for(&self, count: u64) -> CkptLevel {
         if self.l3_every > 0 && count.is_multiple_of(self.l3_every as u64) {
             CkptLevel::L3Pfs
         } else if self.l2_every > 0 && count.is_multiple_of(self.l2_every as u64) {
@@ -213,7 +215,8 @@ impl MultiLevelParams {
         }
     }
 
-    fn draw_severity(&self, rng: &mut SimRng) -> FailureSeverity {
+    /// Draw a failure severity from the configured weight mix.
+    pub fn draw_severity(&self, rng: &mut SimRng) -> FailureSeverity {
         let total: f64 = self.severity_weights.iter().sum();
         assert!(total > 0.0, "severity weights must not all be zero");
         let mut u = rng.gen_f64() * total;
@@ -236,7 +239,7 @@ fn level_index(level: CkptLevel) -> usize {
 }
 
 /// Work marks are stored in the [`CommitLog`] in milliseconds.
-fn mark_of(done_s: f64) -> u64 {
+pub fn mark_of(done_s: f64) -> u64 {
     (done_s * 1e3).round() as u64
 }
 

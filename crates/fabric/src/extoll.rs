@@ -82,11 +82,24 @@ impl ExtollFabric {
     }
 
     /// Enable CRC-error injection on every link.
-    pub fn with_fault_model(mut self, fault: FaultModel) -> Self {
-        Rc::get_mut(&mut self.net)
-            .expect("set fault model before sharing the fabric")
-            .set_fault_model(fault);
+    pub fn with_fault_model(self, fault: FaultModel) -> Self {
+        self.net.set_fault_model(fault);
         self
+    }
+
+    /// Install a fault model mid-run (a fault injector degrading links).
+    pub fn set_fault_model(&self, fault: FaultModel) {
+        self.net.set_fault_model(fault);
+    }
+
+    /// Mark a booster node as crashed or repaired.
+    pub fn set_node_down(&self, node: crate::types::NodeId, down: bool) {
+        self.net.set_node_down(node, down);
+    }
+
+    /// True if a booster node is currently marked crashed.
+    pub fn is_node_down(&self, node: crate::types::NodeId) -> bool {
+        self.net.is_node_down(node)
     }
 
     /// Engine parameters.

@@ -69,6 +69,21 @@ impl IbFabric {
         &self.net
     }
 
+    /// Install a fault model mid-run (a fault injector degrading links).
+    pub fn set_fault_model(&self, fault: crate::network::FaultModel) {
+        self.net.set_fault_model(fault);
+    }
+
+    /// Mark a host as crashed or repaired.
+    pub fn set_node_down(&self, node: crate::types::NodeId, down: bool) {
+        self.net.set_node_down(node, down);
+    }
+
+    /// True if a host is currently marked crashed.
+    pub fn is_node_down(&self, node: crate::types::NodeId) -> bool {
+        self.net.is_node_down(node)
+    }
+
     /// Number of hosts.
     pub fn num_nodes(&self) -> usize {
         self.net.num_nodes()

@@ -18,7 +18,7 @@
 //! granularity* (a huge message cannot hog a link forever if `mtu` is
 //! finite — interleaving happens at segment boundaries).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use deep_simkit::{Sim, SimDuration, SimRng, SimTime};
 
@@ -53,11 +53,29 @@ impl Default for FaultModel {
     }
 }
 
-/// Error returned when a transfer exceeds the fault model's retry budget.
+/// Error returned when a transfer exceeds the fault model's retry budget,
+/// is addressed to (or from) a crashed node, or is dropped by a faulty
+/// NIC. The `link` is the first link of the failed route, or
+/// [`LinkFailure::NO_LINK`] when no route was involved (loopback or an
+/// endpoint-down rejection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkFailure {
     /// The link that exhausted its retries.
     pub link: LinkId,
+}
+
+impl LinkFailure {
+    /// Sentinel link id for failures with no associated route.
+    pub const NO_LINK: LinkId = LinkId(u32::MAX);
+}
+
+/// Per-node injected fault state (node crash, NIC packet drop).
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeFault {
+    /// The node is down: every transfer touching it fails.
+    down: bool,
+    /// Probability that this node's NIC drops a whole message.
+    drop_prob: f64,
 }
 
 /// A live fabric: topology + per-link dynamic state.
@@ -66,7 +84,8 @@ pub struct Network {
     topo: Box<dyn Topology>,
     links: RefCell<Vec<LinkState>>,
     rng: RefCell<SimRng>,
-    fault: FaultModel,
+    fault: Cell<FaultModel>,
+    node_faults: RefCell<Vec<NodeFault>>,
     /// Maximum transmission unit for segmentation (bytes).
     mtu: u64,
     /// Bandwidth for node-local (src == dst) copies.
@@ -87,21 +106,52 @@ impl Network {
                 busy_accum: SimDuration::ZERO,
             })
             .collect();
+        let n_nodes = topo.num_nodes();
         Network {
             sim: sim.clone(),
             topo,
             links: RefCell::new(links),
             rng: RefCell::new(sim.fork_rng(rng_stream)),
-            fault: FaultModel::default(),
+            fault: Cell::new(FaultModel::default()),
+            node_faults: RefCell::new(vec![NodeFault::default(); n_nodes]),
             mtu: mtu.max(64),
             loopback_bps: 8e9, // a memcpy-grade intra-node path
             specs,
         }
     }
 
-    /// Install a fault model (default: error-free).
-    pub fn set_fault_model(&mut self, fault: FaultModel) {
-        self.fault = fault;
+    /// Install a fault model (default: error-free). Interior-mutable so a
+    /// fault injector can degrade and heal a link mid-run through a
+    /// shared handle.
+    pub fn set_fault_model(&self, fault: FaultModel) {
+        self.fault.set(fault);
+    }
+
+    /// The currently installed fault model.
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault.get()
+    }
+
+    /// Mark a node as crashed (`down = true`) or repaired. While down,
+    /// every transfer to or from the node fails with a [`LinkFailure`].
+    pub fn set_node_down(&self, node: NodeId, down: bool) {
+        self.node_faults.borrow_mut()[node.0 as usize].down = down;
+        self.sim
+            .emit("net", if down { "node-down" } else { "node-up" }, || {
+                format!("node {}", node.0)
+            });
+    }
+
+    /// True if the node is currently marked crashed.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.node_faults.borrow()[node.0 as usize].down
+    }
+
+    /// Set the probability that this node's NIC drops a whole message
+    /// (sampled once per transfer touching the node; 0.0 to heal).
+    pub fn set_node_drop_prob(&self, node: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.node_faults.borrow_mut()[node.0 as usize].drop_prob = p;
     }
 
     /// Override the loopback (intra-node) copy bandwidth.
@@ -150,7 +200,27 @@ impl Network {
             self.sim.sleep(overhead.send).await;
         }
 
+        // Injected node crashes: a transfer touching a down node fails
+        // after the sender has already burned its send overhead (the
+        // local software stack cannot know the peer died).
+        let (down, drop_prob) = {
+            let nf = self.node_faults.borrow();
+            let s = nf[src.0 as usize];
+            let d = nf[dst.0 as usize];
+            (
+                s.down || d.down,
+                1.0 - (1.0 - s.drop_prob) * (1.0 - d.drop_prob),
+            )
+        };
+
         if src == dst {
+            if down {
+                self.sim
+                    .emit("net", "drop", || format!("loopback on down node {}", src.0));
+                return Err(LinkFailure {
+                    link: LinkFailure::NO_LINK,
+                });
+            }
             // Loopback: a memory copy, no fabric involvement.
             let copy = SimDuration::from_secs_f64(bytes as f64 / self.loopback_bps);
             self.sim.sleep(copy).await;
@@ -169,19 +239,40 @@ impl Network {
         self.topo.route(src, dst, &mut path);
         debug_assert!(!path.is_empty(), "route for distinct nodes is non-empty");
 
+        if down {
+            // The message dies at the first hop: charge one hop latency
+            // (the time the NIC spends discovering nothing answers).
+            self.sim.sleep(self.specs[path[0].0 as usize].latency).await;
+            self.sim.emit("net", "drop", || {
+                format!("node down on route {} -> {}", src.0, dst.0)
+            });
+            return Err(LinkFailure { link: path[0] });
+        }
+        if drop_prob > 0.0 && self.rng.borrow_mut().gen_bool(drop_prob) {
+            // NIC drop: the message traverses the route (charging hop
+            // latencies, not occupancy) and silently vanishes.
+            let lat: SimDuration = path.iter().map(|&l| self.specs[l.0 as usize].latency).sum();
+            self.sim.sleep(lat).await;
+            self.sim.emit("net", "drop", || {
+                format!("nic drop on route {} -> {}", src.0, dst.0)
+            });
+            return Err(LinkFailure { link: path[0] });
+        }
+
         // Segment the payload by MTU; segments pipeline, so we model the
         // whole train as one occupancy of length S/B per link but charge
         // retransmissions per segment.
+        let fault = self.fault.get();
         let segments = bytes.div_ceil(self.mtu).max(1);
         let mut retrans_total: u32 = 0;
         let mut effective_bytes = bytes.max(1);
-        if self.fault.segment_error_rate > 0.0 {
+        if fault.segment_error_rate > 0.0 {
             let mut rng = self.rng.borrow_mut();
             // Per traversal (segment × link) sample geometric retries.
             // For large segment counts sample the binomial mean instead of
             // per-segment draws to keep the event count bounded.
             let traversals = segments as f64 * path.len() as f64;
-            let p = self.fault.segment_error_rate;
+            let p = fault.segment_error_rate;
             let expected_failures = traversals * p / (1.0 - p);
             let sampled = if traversals <= 1024.0 {
                 let mut n = 0u64;
@@ -189,7 +280,10 @@ impl Network {
                     let mut tries = 0u32;
                     while rng.gen_bool(p) {
                         tries += 1;
-                        if tries > self.fault.max_retries {
+                        if tries > fault.max_retries {
+                            self.sim.emit("net", "link-fail", || {
+                                format!("retries exhausted on link {}", path[0].0)
+                            });
                             return Err(LinkFailure { link: path[0] });
                         }
                     }
@@ -412,7 +506,7 @@ mod tests {
     fn fault_injection_adds_retransmissions() {
         let mut sim = Simulation::new(3);
         let ctx = sim.handle();
-        let mut raw = Network::new(
+        let raw = Network::new(
             &ctx,
             Box::new(Crossbar::new(
                 2,
@@ -451,7 +545,7 @@ mod tests {
     fn excessive_errors_fail_the_link() {
         let mut sim = Simulation::new(4);
         let ctx = sim.handle();
-        let mut raw = Network::new(
+        let raw = Network::new(
             &ctx,
             Box::new(Crossbar::new(
                 2,
@@ -474,5 +568,69 @@ mod tests {
         });
         sim.run().assert_completed();
         assert!(matches!(h.try_result(), Some(Err(LinkFailure { .. }))));
+    }
+
+    #[test]
+    fn down_node_rejects_transfers_until_repaired() {
+        let mut sim = Simulation::new(5);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 3, 1e9, 100);
+        net.set_node_down(NodeId(1), true);
+        let n = net.clone();
+        let h = sim.spawn("xfer", async move {
+            let dead = n
+                .transfer(NodeId(0), NodeId(1), 1000, EndpointOverhead::default())
+                .await;
+            assert!(dead.is_err());
+            // Unrelated pairs keep working.
+            n.transfer(NodeId(0), NodeId(2), 1000, EndpointOverhead::default())
+                .await
+                .expect("healthy pair");
+            n.set_node_down(NodeId(1), false);
+            n.transfer(NodeId(0), NodeId(1), 1000, EndpointOverhead::default())
+                .await
+                .expect("repaired node");
+        });
+        sim.run().assert_completed();
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn nic_drop_probability_one_always_drops() {
+        let mut sim = Simulation::new(6);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 100);
+        net.set_node_drop_prob(NodeId(1), 1.0);
+        let n = net.clone();
+        let h = sim.spawn("xfer", async move {
+            let r = n
+                .transfer(NodeId(0), NodeId(1), 1000, EndpointOverhead::default())
+                .await;
+            assert_ne!(r.unwrap_err().link, LinkFailure::NO_LINK);
+            // The drop charged the route latency, not the serialization.
+            n.sim().now().as_nanos()
+        });
+        sim.run().assert_completed();
+        assert_eq!(h.try_result(), Some(100));
+    }
+
+    #[test]
+    fn down_loopback_uses_sentinel_link() {
+        let mut sim = Simulation::new(7);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 100);
+        net.set_node_down(NodeId(0), true);
+        let n = net.clone();
+        let h = sim.spawn("xfer", async move {
+            n.transfer(NodeId(0), NodeId(0), 1000, EndpointOverhead::default())
+                .await
+        });
+        sim.run().assert_completed();
+        assert_eq!(
+            h.try_result(),
+            Some(Err(LinkFailure {
+                link: LinkFailure::NO_LINK
+            }))
+        );
     }
 }

@@ -1,0 +1,97 @@
+//! End-to-end crash/restart recovery: a tiled Cholesky checkpointing
+//! through the DEEP-ER storage hierarchy is crashed mid-run at varying
+//! severities, restores from the level that survived, and must produce a
+//! factor **bitwise identical** to the fault-free run.
+
+use deep_core::DeepConfig;
+use deep_faults::{run_cholesky_with_recovery, RecoveryParams};
+use deep_io::{CkptLevel, FailureSeverity};
+
+const SEED: u64 = 21;
+
+fn fault_free(p: &RecoveryParams) -> Vec<f64> {
+    let mut q = p.clone();
+    q.crashes.clear();
+    run_cholesky_with_recovery(&DeepConfig::small(), 8, &q, SEED).factor
+}
+
+#[test]
+fn transient_crash_restores_and_matches_bitwise() {
+    // Default: 6 panels, checkpoints at panels 2 (L1) and 4 (L2).
+    let p = RecoveryParams {
+        crashes: vec![(3, FailureSeverity::Transient)],
+        ..RecoveryParams::default()
+    };
+    let out = run_cholesky_with_recovery(&DeepConfig::small(), 8, &p, SEED);
+    // Newest surviving mark is the L1 checkpoint at panel 2.
+    assert_eq!(out.restores, vec![Some((CkptLevel::L1Local, 2))]);
+    assert_eq!(out.factor, fault_free(&p), "factor must be bitwise equal");
+}
+
+#[test]
+fn node_loss_falls_back_to_the_buddy_level() {
+    // Crash after the L1 checkpoint at panel 6 (count 3): a node loss
+    // wipes L1, so recovery must come from the older L2 copy at panel 4.
+    let p = RecoveryParams {
+        nt: 8,
+        crashes: vec![(7, FailureSeverity::NodeLoss)],
+        ..RecoveryParams::default()
+    };
+    let out = run_cholesky_with_recovery(&DeepConfig::small(), 8, &p, SEED);
+    assert_eq!(out.restores, vec![Some((CkptLevel::L2Partner, 4))]);
+    assert_eq!(out.factor, fault_free(&p));
+}
+
+#[test]
+fn multi_node_loss_needs_the_pfs_level() {
+    // 10 panels: checkpoints at 2 (L1), 4 (L2), 6 (L1), 8 (L3). A
+    // multi-node loss at panel 9 wipes L1 and L2; only the PFS copy at
+    // panel 8 survives.
+    let p = RecoveryParams {
+        nt: 10,
+        crashes: vec![(9, FailureSeverity::MultiNodeLoss)],
+        ..RecoveryParams::default()
+    };
+    let out = run_cholesky_with_recovery(&DeepConfig::small(), 8, &p, SEED);
+    assert_eq!(out.restores, vec![Some((CkptLevel::L3Pfs, 8))]);
+    assert_eq!(out.factor, fault_free(&p));
+}
+
+#[test]
+fn repeated_crashes_still_converge_bitwise() {
+    // Crash early (before any checkpoint → from scratch), then twice
+    // more later — including hitting the same panel again after the
+    // first recovery.
+    let p = RecoveryParams {
+        nt: 8,
+        crashes: vec![
+            (1, FailureSeverity::MultiNodeLoss),
+            (5, FailureSeverity::Transient),
+            (5, FailureSeverity::NodeLoss),
+        ],
+        ..RecoveryParams::default()
+    };
+    let out = run_cholesky_with_recovery(&DeepConfig::small(), 8, &p, SEED);
+    assert_eq!(out.failures, 3);
+    assert_eq!(out.restores.len(), 3);
+    assert_eq!(out.restores[0], None, "no checkpoint before panel 1");
+    assert_eq!(out.factor, fault_free(&p));
+}
+
+#[test]
+fn crashes_cost_wall_time_but_not_correctness() {
+    let clean = RecoveryParams::default();
+    let crashed = RecoveryParams {
+        crashes: vec![(3, FailureSeverity::Transient)],
+        ..RecoveryParams::default()
+    };
+    let a = run_cholesky_with_recovery(&DeepConfig::small(), 8, &clean, SEED);
+    let b = run_cholesky_with_recovery(&DeepConfig::small(), 8, &crashed, SEED);
+    assert!(
+        b.elapsed > a.elapsed,
+        "recovery must cost time: {} vs {}",
+        b.elapsed,
+        a.elapsed
+    );
+    assert_eq!(a.factor, b.factor);
+}

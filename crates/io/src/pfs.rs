@@ -91,6 +91,12 @@ impl ParallelFs {
         self.servers.iter().map(|s| s.node).collect()
     }
 
+    /// The block device of server `i` — fault injectors model a server
+    /// stall as a background burst keeping this device busy.
+    pub fn server_device(&self, i: usize) -> Rc<BlockDevice> {
+        self.servers[i].dev.clone()
+    }
+
     /// Aggregate device counters over all servers.
     pub fn stats(&self) -> DeviceStats {
         let mut total = DeviceStats::default();

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use deep_simkit::{join_all, OneShot, ProcHandle, Sim, SimDuration, SimTime};
+use deep_simkit::{join_all, Either, OneShot, ProcHandle, Sim, SimDuration, SimTime};
 
 /// One phase of a job: cluster compute, then (optionally) an offload
 /// section needing booster nodes.
@@ -87,6 +87,11 @@ pub struct JobRecord {
     pub finished: SimTime,
     /// Total time spent waiting for booster-phase grants (dynamic only).
     pub bn_wait: SimDuration,
+    /// Offload phases restarted after a booster-node failure.
+    pub requeues: u32,
+    /// True if the job was aborted because its demand could no longer be
+    /// satisfied by the shrunken machine.
+    pub aborted: bool,
 }
 
 impl JobRecord {
@@ -108,26 +113,64 @@ pub struct WorkloadReport {
     pub jobs: Vec<JobRecord>,
     /// Time of last completion.
     pub makespan: SimDuration,
-    /// Booster nodes actively computing / (BN total × makespan).
+    /// Booster node-seconds actively computing / booster capacity
+    /// node-seconds (∫ total(t) dt, correct under mid-run failures).
     pub bn_utilization: f64,
-    /// Booster nodes *allocated* (whether or not computing) / (BN total ×
-    /// makespan) — under static assignment this is inflated by boosters
-    /// idling through their job's cluster phases.
+    /// Booster node-seconds *allocated* (whether or not computing) /
+    /// booster capacity node-seconds — under static assignment this is
+    /// inflated by boosters idling through their job's cluster phases.
     pub bn_allocated: f64,
-    /// Cluster busy node-time / (CN total × makespan).
+    /// Cluster busy node-seconds / cluster capacity node-seconds.
     pub cn_utilization: f64,
+    /// Booster nodes lost to injected failures.
+    pub bn_failures: u32,
+    /// Failed booster nodes replaced from the spare pool.
+    pub bn_replaced: u32,
+    /// Offload phases restarted after a failure (sum over jobs).
+    pub requeues: u32,
+    /// Jobs aborted because the shrunken machine could not satisfy them.
+    pub jobs_aborted: u32,
+}
+
+/// Outcome of a grant request: either the resources are yours, or the
+/// manager determined the request can never be satisfied (the machine
+/// shrank below the demand) and aborted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grant {
+    Granted,
+    Aborted,
+}
+
+/// Outcome of one injected booster failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureOutcome {
+    /// Booster nodes actually lost (≤ requested if the pool was smaller).
+    pub failed: u32,
+    /// Nodes replaced from the spare pool.
+    pub replaced: u32,
+    /// Running offload sections interrupted (their jobs requeue).
+    pub victims: u32,
 }
 
 struct StartRequest {
     cn: u32,
     bn: u32, // static reservation (0 under dynamic policies)
     est: SimDuration,
-    grant: OneShot<()>,
+    grant: OneShot<Grant>,
 }
 
 struct BnRequest {
     bn: u32,
-    grant: OneShot<()>,
+    grant: OneShot<Grant>,
+}
+
+/// A running dynamic offload section that can be interrupted by a
+/// booster-node failure. The signal carries the number of nodes lost
+/// from this job's allocation.
+struct OffloadEntry {
+    id: u64,
+    bn: u32,
+    signal: OneShot<u32>,
 }
 
 struct MgrState {
@@ -135,11 +178,16 @@ struct MgrState {
     bn_free: u32,
     cn_total: u32,
     bn_total: u32,
+    /// Cold standby booster nodes used to replace failed ones.
+    spare_bn: u32,
     start_queue: VecDeque<StartRequest>,
     bn_queue: VecDeque<BnRequest>,
     /// Running-job estimated completions, for backfill reservations:
     /// `(est_end, cn, bn)`.
     running_est: Vec<(SimTime, u32, u32)>,
+    /// Interruptible running offload sections (dynamic policies only).
+    offloads: Vec<OffloadEntry>,
+    next_offload_id: u64,
     // Utilisation integrals.
     last_change: SimTime,
     cn_busy_integral: f64, // node-seconds
@@ -147,6 +195,13 @@ struct MgrState {
     /// Boosters actively inside an offload section right now.
     bn_active: u32,
     bn_active_integral: f64,
+    /// Capacity integrals (node-seconds of *existing* nodes): the correct
+    /// utilisation denominator when failures shrink the machine mid-run.
+    cn_capacity_integral: f64,
+    bn_capacity_integral: f64,
+    bn_failures: u32,
+    bn_replaced: u32,
+    requeues: u32,
     records: Vec<JobRecord>,
 }
 
@@ -156,6 +211,8 @@ impl MgrState {
         self.cn_busy_integral += (self.cn_total - self.cn_free) as f64 * dt;
         self.bn_alloc_integral += (self.bn_total - self.bn_free) as f64 * dt;
         self.bn_active_integral += self.bn_active as f64 * dt;
+        self.cn_capacity_integral += self.cn_total as f64 * dt;
+        self.bn_capacity_integral += self.bn_total as f64 * dt;
         self.last_change = now;
     }
 }
@@ -170,6 +227,18 @@ pub struct ResMgr {
 impl ResMgr {
     /// Create a manager over `cn_total` cluster and `bn_total` booster nodes.
     pub fn new(sim: &Sim, cn_total: u32, bn_total: u32, policy: Policy) -> Rc<ResMgr> {
+        Self::with_spares(sim, cn_total, bn_total, 0, policy)
+    }
+
+    /// Like [`ResMgr::new`], plus `spare_bn` cold-standby booster nodes
+    /// that replace failed ones on [`ResMgr::inject_booster_failure`].
+    pub fn with_spares(
+        sim: &Sim,
+        cn_total: u32,
+        bn_total: u32,
+        spare_bn: u32,
+        policy: Policy,
+    ) -> Rc<ResMgr> {
         Rc::new(ResMgr {
             sim: sim.clone(),
             policy,
@@ -178,14 +247,22 @@ impl ResMgr {
                 bn_free: bn_total,
                 cn_total,
                 bn_total,
+                spare_bn,
                 start_queue: VecDeque::new(),
                 bn_queue: VecDeque::new(),
                 running_est: Vec::new(),
+                offloads: Vec::new(),
+                next_offload_id: 0,
                 last_change: SimTime::ZERO,
                 cn_busy_integral: 0.0,
                 bn_alloc_integral: 0.0,
                 bn_active: 0,
                 bn_active_integral: 0.0,
+                cn_capacity_integral: 0.0,
+                bn_capacity_integral: 0.0,
+                bn_failures: 0,
+                bn_replaced: 0,
+                requeues: 0,
                 records: Vec::new(),
             }),
         })
@@ -214,7 +291,7 @@ impl ResMgr {
         };
 
         // Queue for the start grant.
-        let grant: OneShot<()> = OneShot::new(&self.sim);
+        let grant: OneShot<Grant> = OneShot::new(&self.sim);
         {
             let mut st = self.state.borrow_mut();
             st.start_queue.push_back(StartRequest {
@@ -225,7 +302,12 @@ impl ResMgr {
             });
         }
         self.try_schedule();
-        grant.wait().await;
+        if grant.wait().await == Grant::Aborted {
+            // Never started: no resources to give back.
+            let now = self.sim.now();
+            self.push_record(&spec, submitted, now, now, SimDuration::ZERO, 0, true);
+            return;
+        }
         let started = self.sim.now();
         {
             let now = self.sim.now();
@@ -237,7 +319,9 @@ impl ResMgr {
         }
 
         let mut bn_wait = SimDuration::ZERO;
-        for phase in &spec.phases {
+        let mut requeues = 0u32;
+        let mut aborted = false;
+        'phases: for phase in &spec.phases {
             if phase.cn_time > SimDuration::ZERO {
                 self.sim.sleep(phase.cn_time).await;
             }
@@ -248,29 +332,84 @@ impl ResMgr {
                     self.sim.sleep(phase.bn_time).await;
                     self.mark_active(-(phase.bn_needed as i64));
                 } else {
-                    let t0 = self.sim.now();
-                    let g: OneShot<()> = OneShot::new(&self.sim);
-                    {
-                        let mut st = self.state.borrow_mut();
-                        st.bn_queue.push_back(BnRequest {
-                            bn: phase.bn_needed,
-                            grant: g.clone(),
-                        });
+                    // Dynamic offload: claim boosters, run, and restart the
+                    // section from scratch if a failure takes nodes away.
+                    loop {
+                        let t0 = self.sim.now();
+                        let g: OneShot<Grant> = OneShot::new(&self.sim);
+                        {
+                            let mut st = self.state.borrow_mut();
+                            st.bn_queue.push_back(BnRequest {
+                                bn: phase.bn_needed,
+                                grant: g.clone(),
+                            });
+                        }
+                        self.try_schedule();
+                        if g.wait().await == Grant::Aborted {
+                            aborted = true;
+                            break 'phases;
+                        }
+                        bn_wait += self.sim.now() - t0;
+                        self.mark_active(phase.bn_needed as i64);
+                        let signal: OneShot<u32> = OneShot::new(&self.sim);
+                        let id = {
+                            let mut st = self.state.borrow_mut();
+                            let id = st.next_offload_id;
+                            st.next_offload_id += 1;
+                            st.offloads.push(OffloadEntry {
+                                id,
+                                bn: phase.bn_needed,
+                                signal: signal.clone(),
+                            });
+                            id
+                        };
+                        // Interrupt on the left: at an exact tie the
+                        // failure wins, deterministically.
+                        let outcome = self
+                            .sim
+                            .race(signal.wait(), self.sim.sleep(phase.bn_time))
+                            .await;
+                        {
+                            let mut st = self.state.borrow_mut();
+                            st.offloads.retain(|e| e.id != id);
+                        }
+                        self.mark_active(-(phase.bn_needed as i64));
+                        match outcome {
+                            Either::Right(()) => {
+                                // Completed: release phase boosters.
+                                {
+                                    let now = self.sim.now();
+                                    let mut st = self.state.borrow_mut();
+                                    st.accumulate(now);
+                                    st.bn_free += phase.bn_needed;
+                                }
+                                self.try_schedule();
+                                break;
+                            }
+                            Either::Left(failed) => {
+                                // Failure took `failed` of our nodes (the
+                                // injector already shrank the totals);
+                                // survivors go back to the pool and the
+                                // whole section restarts.
+                                let survivors = phase.bn_needed - failed.min(phase.bn_needed);
+                                {
+                                    let now = self.sim.now();
+                                    let mut st = self.state.borrow_mut();
+                                    st.accumulate(now);
+                                    st.bn_free += survivors;
+                                    st.requeues += 1;
+                                }
+                                requeues += 1;
+                                self.sim.emit("resmgr", "requeue", || {
+                                    format!(
+                                        "job {} lost {failed} boosters; offload restarts",
+                                        spec.name
+                                    )
+                                });
+                                self.try_schedule();
+                            }
+                        }
                     }
-                    self.try_schedule();
-                    g.wait().await;
-                    bn_wait += self.sim.now() - t0;
-                    self.mark_active(phase.bn_needed as i64);
-                    self.sim.sleep(phase.bn_time).await;
-                    self.mark_active(-(phase.bn_needed as i64));
-                    // Release phase boosters.
-                    {
-                        let now = self.sim.now();
-                        let mut st = self.state.borrow_mut();
-                        st.accumulate(now);
-                        st.bn_free += phase.bn_needed;
-                    }
-                    self.try_schedule();
                 }
             }
         }
@@ -289,15 +428,33 @@ impl ResMgr {
             {
                 st.running_est.remove(pos);
             }
-            st.records.push(JobRecord {
-                name: spec.name.clone(),
-                submitted,
-                started,
-                finished,
-                bn_wait,
-            });
         }
+        self.push_record(
+            &spec, submitted, started, finished, bn_wait, requeues, aborted,
+        );
         self.try_schedule();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_record(
+        &self,
+        spec: &JobSpec,
+        submitted: SimTime,
+        started: SimTime,
+        finished: SimTime,
+        bn_wait: SimDuration,
+        requeues: u32,
+        aborted: bool,
+    ) {
+        self.state.borrow_mut().records.push(JobRecord {
+            name: spec.name.clone(),
+            submitted,
+            started,
+            finished,
+            bn_wait,
+            requeues,
+            aborted,
+        });
     }
 
     /// Adjust the count of boosters actively computing.
@@ -313,10 +470,35 @@ impl ResMgr {
     /// Grant whatever the policy allows right now.
     fn try_schedule(&self) {
         let now = self.sim.now();
-        let mut granted: Vec<OneShot<()>> = Vec::new();
+        let mut granted: Vec<OneShot<Grant>> = Vec::new();
+        let mut aborted: Vec<OneShot<Grant>> = Vec::new();
         {
             let mut st = self.state.borrow_mut();
             st.accumulate(now);
+
+            // Abort requests the shrunken machine can never satisfy —
+            // leaving them queued would deadlock the FIFO behind them.
+            let (cn_total, bn_total) = (st.cn_total, st.bn_total);
+            let mut sweep = |q: &mut VecDeque<BnRequest>| {
+                let mut i = 0;
+                while i < q.len() {
+                    if q[i].bn > bn_total {
+                        aborted.push(q.remove(i).unwrap().grant);
+                    } else {
+                        i += 1;
+                    }
+                }
+            };
+            sweep(&mut st.bn_queue);
+            let mut i = 0;
+            while i < st.start_queue.len() {
+                let r = &st.start_queue[i];
+                if r.cn > cn_total || r.bn > bn_total {
+                    aborted.push(st.start_queue.remove(i).unwrap().grant);
+                } else {
+                    i += 1;
+                }
+            }
 
             // Booster-phase requests first (they belong to running jobs).
             while let Some(req) = st.bn_queue.front() {
@@ -375,8 +557,96 @@ impl ResMgr {
             }
         }
         for g in granted {
-            g.set(());
+            g.set(Grant::Granted);
         }
+        for g in aborted {
+            g.set(Grant::Aborted);
+        }
+    }
+
+    /// Inject the loss of `nodes` booster nodes. Nodes are taken first
+    /// from running dynamic offload sections (oldest first — their jobs
+    /// are interrupted and requeue the section), then from the free pool.
+    /// Statically-held boosters are not victimized in this model. Spares,
+    /// if any, immediately replace the losses. Returns what happened.
+    pub fn inject_booster_failure(&self, nodes: u32) -> FailureOutcome {
+        let now = self.sim.now();
+        let mut signals: Vec<(OneShot<u32>, u32)> = Vec::new();
+        let outcome = {
+            let mut st = self.state.borrow_mut();
+            st.accumulate(now);
+            let mut remaining = nodes;
+            let mut victims = 0u32;
+            // Interrupt running offload sections, oldest first.
+            while remaining > 0 && !st.offloads.is_empty() {
+                let entry = st.offloads.remove(0);
+                let lost = entry.bn.min(remaining);
+                remaining -= lost;
+                st.bn_total -= lost;
+                victims += 1;
+                signals.push((entry.signal, lost));
+            }
+            // Remainder dies in the free pool.
+            let from_free = remaining.min(st.bn_free);
+            st.bn_free -= from_free;
+            st.bn_total -= from_free;
+            remaining -= from_free;
+            let failed = nodes - remaining;
+            // Replacement from the spare pool.
+            let replaced = st.spare_bn.min(failed);
+            st.spare_bn -= replaced;
+            st.bn_total += replaced;
+            st.bn_free += replaced;
+            st.bn_failures += failed;
+            st.bn_replaced += replaced;
+            FailureOutcome {
+                failed,
+                replaced,
+                victims,
+            }
+        };
+        self.sim.emit("resmgr", "bn-failure", || {
+            format!(
+                "{} boosters failed, {} replaced, {} jobs hit",
+                outcome.failed, outcome.replaced, outcome.victims
+            )
+        });
+        for (signal, lost) in signals {
+            signal.set(lost);
+        }
+        self.try_schedule();
+        outcome
+    }
+
+    /// Inject the loss of `nodes` cluster nodes. Only idle cluster nodes
+    /// die in this model (running jobs pin theirs); returns the number
+    /// actually lost.
+    pub fn inject_cluster_failure(&self, nodes: u32) -> u32 {
+        let now = self.sim.now();
+        let failed = {
+            let mut st = self.state.borrow_mut();
+            st.accumulate(now);
+            let failed = nodes.min(st.cn_free);
+            st.cn_free -= failed;
+            st.cn_total -= failed;
+            failed
+        };
+        self.sim.emit("resmgr", "cn-failure", || {
+            format!("{failed} cluster nodes failed")
+        });
+        self.try_schedule();
+        failed
+    }
+
+    /// Remaining cold-standby booster nodes.
+    pub fn spares(&self) -> u32 {
+        self.state.borrow().spare_bn
+    }
+
+    /// Current (cluster, booster) node totals, net of failures.
+    pub fn totals(&self) -> (u32, u32) {
+        let st = self.state.borrow();
+        (st.cn_total, st.bn_total)
     }
 
     /// Snapshot free resources (diagnostics).
@@ -397,19 +667,22 @@ impl ResMgr {
         let end = end.max(st.last_change);
         st.accumulate(end);
         let makespan = end - SimTime::ZERO;
-        let span = makespan.as_secs_f64();
-        let bn_util = if span > 0.0 && st.bn_total > 0 {
-            st.bn_active_integral / (st.bn_total as f64 * span)
+        // Divide by the *capacity integral* (∫ total(t) dt), not
+        // total_now × makespan: when failures shrink the machine mid-run,
+        // the naive denominator undercounts capacity and utilisation
+        // could exceed 1.0.
+        let bn_util = if st.bn_capacity_integral > 0.0 {
+            st.bn_active_integral / st.bn_capacity_integral
         } else {
             0.0
         };
-        let bn_alloc = if span > 0.0 && st.bn_total > 0 {
-            st.bn_alloc_integral / (st.bn_total as f64 * span)
+        let bn_alloc = if st.bn_capacity_integral > 0.0 {
+            st.bn_alloc_integral / st.bn_capacity_integral
         } else {
             0.0
         };
-        let cn_util = if span > 0.0 && st.cn_total > 0 {
-            st.cn_busy_integral / (st.cn_total as f64 * span)
+        let cn_util = if st.cn_capacity_integral > 0.0 {
+            st.cn_busy_integral / st.cn_capacity_integral
         } else {
             0.0
         };
@@ -419,6 +692,10 @@ impl ResMgr {
             bn_utilization: bn_util,
             bn_allocated: bn_alloc,
             cn_utilization: cn_util,
+            bn_failures: st.bn_failures,
+            bn_replaced: st.bn_replaced,
+            requeues: st.requeues,
+            jobs_aborted: st.records.iter().filter(|r| r.aborted).count() as u32,
         }
     }
 }
@@ -625,5 +902,121 @@ mod tests {
         // CN held 20 s of 20 s → 100%; BN held 10 of 20 → 50%.
         assert!((rep.cn_utilization - 1.0).abs() < 1e-9);
         assert!((rep.bn_utilization - 0.5).abs() < 1e-9);
+    }
+
+    /// Drive a workload while an injector process kills boosters mid-run.
+    fn run_with_failures(
+        spares: u32,
+        kill_at_s: u64,
+        kill_n: u32,
+        jobs: Vec<(SimDuration, JobSpec)>,
+    ) -> (WorkloadReport, FailureOutcome) {
+        let mut sim = deep_simkit::Simulation::new(9);
+        let ctx = sim.handle();
+        let mgr = ResMgr::with_spares(&ctx, 8, 8, spares, Policy::DynamicFcfs);
+        let mgr2 = mgr.clone();
+        let ctx2 = ctx.clone();
+        sim.spawn("workload-driver", async move {
+            let mut handles = Vec::new();
+            for (arrive, spec) in jobs {
+                let at = SimTime::ZERO + arrive;
+                if at > ctx2.now() {
+                    ctx2.sleep_until(at).await;
+                }
+                handles.push(mgr2.submit(spec));
+            }
+            join_all(handles).await;
+        });
+        let mgr3 = mgr.clone();
+        let ctx3 = ctx.clone();
+        let inj = sim.spawn("injector", async move {
+            ctx3.sleep(secs(kill_at_s)).await;
+            mgr3.inject_booster_failure(kill_n)
+        });
+        sim.run().assert_completed();
+        (mgr.report(), inj.try_result().unwrap())
+    }
+
+    #[test]
+    fn failure_mid_offload_requeues_and_spares_replace() {
+        // One job: 5 s cluster + 10 s offload on 4 BNs. Kill 2 BNs at
+        // t=8 (mid-offload): the section restarts and, with spares, still
+        // has 4 BNs to claim.
+        let (rep, out) = run_with_failures(
+            4,
+            8,
+            2,
+            vec![(SimDuration::ZERO, coupled_job("a", 2, 4, 5, 10))],
+        );
+        assert_eq!(
+            out,
+            FailureOutcome {
+                failed: 2,
+                replaced: 2,
+                victims: 1
+            }
+        );
+        let job = &rep.jobs[0];
+        assert!(!job.aborted);
+        assert_eq!(job.requeues, 1);
+        // 5 s cluster + 3 s wasted offload + 10 s redo = 18 s.
+        assert_eq!(rep.makespan, secs(18));
+        assert_eq!(rep.bn_failures, 2);
+        assert_eq!(rep.bn_replaced, 2);
+        assert_eq!(rep.requeues, 1);
+    }
+
+    #[test]
+    fn unsatisfiable_after_shrink_aborts_instead_of_hanging() {
+        // Kill 6 of 8 BNs with no spares while a 4-BN offload runs: the
+        // requeued request exceeds the 2 remaining and must be aborted,
+        // not left to deadlock the simulation.
+        let (rep, out) = run_with_failures(
+            0,
+            8,
+            6,
+            vec![(SimDuration::ZERO, coupled_job("a", 2, 4, 5, 10))],
+        );
+        assert_eq!(out.replaced, 0);
+        assert!(out.failed >= 4, "the active section lost its nodes");
+        assert_eq!(rep.jobs_aborted, 1);
+        assert!(rep.jobs[0].aborted);
+    }
+
+    #[test]
+    fn utilisation_stays_bounded_under_failures() {
+        // The capacity-integral denominator keeps utilisation ≤ 1 even
+        // though the machine shrinks mid-run.
+        let (rep, _) = run_with_failures(
+            0,
+            3,
+            4,
+            vec![
+                (SimDuration::ZERO, coupled_job("a", 2, 4, 1, 10)),
+                (SimDuration::ZERO, coupled_job("b", 2, 4, 1, 10)),
+            ],
+        );
+        assert!(rep.bn_failures > 0);
+        assert!(
+            rep.bn_utilization > 0.0 && rep.bn_utilization <= 1.0,
+            "bn_utilization {} out of bounds",
+            rep.bn_utilization
+        );
+        assert!(rep.bn_allocated <= 1.0 + 1e-9);
+        assert!(rep.cn_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn idle_cluster_nodes_can_fail() {
+        let mut sim = deep_simkit::Simulation::new(2);
+        let ctx = sim.handle();
+        let mgr = ResMgr::new(&ctx, 8, 8, Policy::DynamicFcfs);
+        let m = mgr.clone();
+        sim.spawn("inject", async move {
+            assert_eq!(m.inject_cluster_failure(3), 3);
+            assert_eq!(m.totals().0, 5);
+        });
+        sim.run().assert_completed();
+        assert_eq!(mgr.free().0, 5);
     }
 }

@@ -49,6 +49,7 @@
 mod channel;
 mod kernel;
 mod metrics;
+mod race;
 mod rng;
 mod sim;
 mod sync;
@@ -59,11 +60,13 @@ mod trace;
 pub use channel::{bounded, channel, Receiver, RecvError, RecvFut, SendError, SendFut, Sender};
 pub use kernel::{ProcId, RunOutcome};
 pub use metrics::{CounterId, Histogram, HistogramId, Metrics};
+pub use race::{Either, Race};
 pub use rng::SimRng;
 pub use sim::{ProcHandle, Sim, Simulation, Sleep, YieldNow};
 pub use sync::{Barrier, BarrierWait, OneShot, OneShotWait, SemGuard, Semaphore};
 pub use time::{SimDuration, SimTime};
 pub use timeout::Timeout;
+pub use trace::TraceEvent;
 
 /// Await several process handles, collecting their results in order.
 /// Panics if any process was killed.

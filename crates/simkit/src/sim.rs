@@ -11,7 +11,7 @@ use crate::kernel::{Kernel, ProcId, ProcState, RunOutcome};
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Tracer;
+use crate::trace::{TraceEvent, Tracer};
 
 /// A complete simulation run: kernel + metrics + tracer.
 ///
@@ -163,8 +163,21 @@ impl Simulation {
         self.sim.metrics.borrow()
     }
 
-    /// Drain the trace log (empty unless tracing was enabled).
+    /// Drain the trace log as rendered lines (empty unless tracing was
+    /// enabled). Events emitted via [`Sim::trace`] come back as their
+    /// payload; typed events from [`Sim::emit`] are rendered as
+    /// `[component/kind] payload`.
     pub fn take_trace(&self) -> Vec<(SimTime, String)> {
+        self.take_events()
+            .into_iter()
+            .map(|e| (e.at, e.render()))
+            .collect()
+    }
+
+    /// Drain the trace log as typed events (empty unless tracing was
+    /// enabled). Tests can assert on event ordering and structure
+    /// instead of grepping formatted strings.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
         self.sim.tracer.borrow_mut().take()
     }
 }
@@ -243,12 +256,24 @@ impl Sim {
         self.kernel.borrow_mut().kill_proc(id);
     }
 
-    /// Record a trace line (no-op unless tracing enabled).
+    /// Record a plain trace line (no-op unless tracing enabled). Recorded
+    /// as a [`TraceEvent`] with component `"sim"` and kind `"msg"`.
     pub fn trace(&self, msg: impl FnOnce() -> String) {
+        self.emit("sim", "msg", msg);
+    }
+
+    /// Record a typed trace event (no-op unless tracing enabled). The
+    /// payload closure is only evaluated when tracing is on.
+    pub fn emit(&self, component: &str, kind: &str, payload: impl FnOnce() -> String) {
         let mut t = self.tracer.borrow_mut();
         if t.is_enabled() {
-            let now = self.now();
-            t.record(now, msg());
+            let at = self.now();
+            t.record(TraceEvent {
+                at,
+                component: component.to_string(),
+                kind: kind.to_string(),
+                payload: payload(),
+            });
         }
     }
 
@@ -533,5 +558,39 @@ mod tests {
         }
         assert_eq!(trace_of(99), trace_of(99));
         assert_ne!(trace_of(99), trace_of(100));
+    }
+
+    #[test]
+    fn typed_events_carry_structure() {
+        let mut sim = Simulation::new(3);
+        sim.enable_tracing();
+        let ctx = sim.handle();
+        sim.spawn("emitter", async move {
+            ctx.emit("net", "retry", || "link 4".to_string());
+            ctx.sleep(SimDuration::nanos(10)).await;
+            ctx.trace(|| "plain".to_string());
+        });
+        sim.run().assert_completed();
+        let events = sim.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].component, "net");
+        assert_eq!(events[0].kind, "retry");
+        assert_eq!(events[0].payload, "link 4");
+        assert_eq!(events[0].at, SimTime::ZERO);
+        assert_eq!(events[1].component, "sim");
+        assert_eq!(events[1].kind, "msg");
+        assert_eq!(events[1].render(), "plain");
+        assert_eq!(events[1].at.as_nanos(), 10);
+    }
+
+    #[test]
+    fn events_not_recorded_when_disabled() {
+        let mut sim = Simulation::new(3);
+        let ctx = sim.handle();
+        sim.spawn("emitter", async move {
+            ctx.emit("net", "retry", || unreachable!("payload must not be built"));
+        });
+        sim.run().assert_completed();
+        assert!(sim.take_events().is_empty());
     }
 }

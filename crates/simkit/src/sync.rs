@@ -58,7 +58,8 @@ impl Semaphore {
         AcquireFut {
             sem: self,
             n,
-            enqueued: false,
+            me: None,
+            granted: false,
         }
         .await;
         SemGuard {
@@ -127,7 +128,9 @@ impl Drop for SemGuard {
 struct AcquireFut<'a> {
     sem: &'a Semaphore,
     n: u64,
-    enqueued: bool,
+    /// Our ProcId once enqueued; needed to clean up on drop.
+    me: Option<ProcId>,
+    granted: bool,
 }
 
 impl Future for AcquireFut<'_> {
@@ -136,26 +139,59 @@ impl Future for AcquireFut<'_> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let this = &mut *self;
         let mut st = this.sem.state.borrow_mut();
-        if this.enqueued {
+        if let Some(me) = this.me {
             // We are woken only after release_many already granted our
             // permits and removed us from the queue.
-            if st
-                .waiters
-                .iter()
-                .any(|&(p, _)| p == this.sem.sim.current_proc())
-            {
+            if st.waiters.iter().any(|&(p, _)| p == me) {
                 return Poll::Pending; // spurious wake while still queued
             }
+            this.granted = true;
             return Poll::Ready(());
         }
         if st.waiters.is_empty() && st.permits >= this.n {
             st.permits -= this.n;
+            this.granted = true;
             Poll::Ready(())
         } else {
             let me = this.sem.sim.current_proc();
             st.waiters.push_back((me, this.n));
-            this.enqueued = true;
+            this.me = Some(me);
             Poll::Pending
+        }
+    }
+}
+
+impl Drop for AcquireFut<'_> {
+    /// An abandoned acquire (timed out, lost a race) must not wedge the
+    /// semaphore: if still queued, withdraw the request; if the permits
+    /// were already granted but the guard was never constructed, return
+    /// them.
+    fn drop(&mut self) {
+        if self.granted {
+            // `acquire_many` builds the guard synchronously after the
+            // await, so a granted-and-dropped future means the caller was
+            // dropped at the await point — the guard does not exist.
+            // But Ready was observed by the caller, which then constructs
+            // the guard; nothing to do in that case. Distinguish: once
+            // Ready is returned the future is dropped *after* the guard
+            // exists, so releasing here would double-free. The `granted`
+            // flag therefore means "hand-off complete": do nothing.
+            return;
+        }
+        if let Some(me) = self.me {
+            let mut st = self.sem.state.borrow_mut();
+            if let Some(pos) = st.waiters.iter().position(|&(p, _)| p == me) {
+                // Still queued: withdraw. Waiters behind us may now be
+                // eligible (we might have been the blocking head).
+                st.waiters.remove(pos);
+                drop(st);
+                self.sem.release_many(0);
+            } else {
+                // Granted while we were no longer being polled: the
+                // permits were deducted for us; give them back.
+                drop(st);
+                self.sem.release_many(self.n);
+            }
         }
     }
 }
@@ -478,5 +514,43 @@ mod tests {
             });
         }
         sim.run().assert_completed();
+    }
+
+    #[test]
+    fn abandoned_acquire_does_not_wedge_the_semaphore() {
+        // A waiter that times out while queued must withdraw its request
+        // so later (or queued-behind) waiters still make progress, and
+        // permits granted to an abandoned waiter must flow back.
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let sem = Semaphore::new(&ctx, 4);
+        let s1 = sem.clone();
+        let c1 = ctx.clone();
+        sim.spawn("holder", async move {
+            let g = s1.acquire_many(4).await;
+            c1.sleep(SimDuration::micros(100)).await;
+            drop(g);
+        });
+        let s2 = sem.clone();
+        let c2 = ctx.clone();
+        let impatient = sim.spawn("impatient", async move {
+            c2.sleep(SimDuration::micros(1)).await;
+            // Queued behind the holder, gives up at t = 11us.
+            c2.timeout(SimDuration::micros(10), s2.acquire_many(4))
+                .await
+        });
+        let s3 = sem.clone();
+        let c3 = ctx.clone();
+        let patient = sim.spawn("patient", async move {
+            c3.sleep(SimDuration::micros(2)).await;
+            let _g = s3.acquire_many(4).await;
+            c3.now().as_micros()
+        });
+        sim.run().assert_completed();
+        assert!(impatient.try_result().unwrap().is_none(), "timed out");
+        // The patient waiter gets the permits as soon as the holder
+        // releases them; the abandoned request in front of it is skipped.
+        assert_eq!(patient.try_result(), Some(100));
+        assert_eq!(sem.available(), 4, "no permits leaked");
     }
 }

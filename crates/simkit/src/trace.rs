@@ -1,13 +1,41 @@
-//! Optional event tracing for debugging simulated protocols.
+//! Typed event tracing for simulated protocols.
 //!
-//! Disabled by default; when disabled, [`crate::Sim::trace`] does not even
-//! build its message string (it takes a closure).
+//! Disabled by default; when disabled, [`crate::Sim::emit`] and
+//! [`crate::Sim::trace`] do not even build their payload strings (they
+//! take closures). When enabled, every event carries its virtual
+//! timestamp, the emitting component, an event kind, and a payload, so
+//! tests can assert on event *ordering and structure* rather than
+//! grepping formatted strings.
 
 use crate::time::SimTime;
 
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event was emitted at.
+    pub at: SimTime,
+    /// The emitting component (e.g. `"net"`, `"cbp"`, `"resmgr"`).
+    pub component: String,
+    /// Event kind within the component (e.g. `"retry"`, `"node-down"`).
+    pub kind: String,
+    /// Free-form payload describing the event.
+    pub payload: String,
+}
+
+impl TraceEvent {
+    /// Render the event as a single human-readable line.
+    pub fn render(&self) -> String {
+        if self.component == "sim" && self.kind == "msg" {
+            self.payload.clone()
+        } else {
+            format!("[{}/{}] {}", self.component, self.kind, self.payload)
+        }
+    }
+}
+
 pub(crate) struct Tracer {
     enabled: bool,
-    events: Vec<(SimTime, String)>,
+    events: Vec<TraceEvent>,
 }
 
 impl Tracer {
@@ -26,11 +54,11 @@ impl Tracer {
         self.enabled
     }
 
-    pub(crate) fn record(&mut self, t: SimTime, msg: String) {
-        self.events.push((t, msg));
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
     }
 
-    pub(crate) fn take(&mut self) -> Vec<(SimTime, String)> {
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
     }
 }

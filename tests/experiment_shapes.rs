@@ -388,3 +388,38 @@ fn er02_sion_restores_task_local_performance() {
     );
     assert!(shared.physical_bytes > shared.payload_bytes, "padding");
 }
+
+/// ER03: the discrete-event resilience run — real checkpoint/restore I/O
+/// on the simulated machine, failures striking in virtual time — agrees
+/// with the analytic Monte-Carlo model (`simulate_multilevel`) to within
+/// 10% at every swept node-MTBF point, and both degrade monotonically as
+/// nodes get flakier.
+#[test]
+fn er03_des_matches_analytic_model_across_mtbf_sweep() {
+    use deep_faults::{er03_params, fault_sweep};
+
+    let (config, ranks, bytes_per_rank, base) = er03_params();
+    let mtbfs = [100.0, 250.0, 600.0];
+    let points = fault_sweep(&config, ranks, bytes_per_rank, &base, &mtbfs, 9, 4);
+    assert_eq!(points.len(), mtbfs.len());
+    for pt in &points {
+        assert!(pt.des.efficiency > 0.0 && pt.des.efficiency <= 1.0);
+        let rel = (pt.des.efficiency - pt.mc.efficiency).abs() / pt.mc.efficiency;
+        assert!(
+            rel < 0.10,
+            "mtbf {}: DES {} vs MC {} (rel gap {rel})",
+            pt.mtbf_node_s,
+            pt.des.efficiency,
+            pt.mc.efficiency
+        );
+    }
+    // Flakier nodes cost efficiency on both sides of the pairing.
+    assert!(points[0].des.efficiency < points[2].des.efficiency);
+    assert!(points[0].mc.efficiency < points[2].mc.efficiency);
+    // And the DES sweep is reproducible point for point.
+    let again = fault_sweep(&config, ranks, bytes_per_rank, &base, &mtbfs, 9, 4);
+    for (a, b) in points.iter().zip(&again) {
+        assert_eq!(a.des.efficiency, b.des.efficiency);
+        assert_eq!(a.mc.efficiency, b.mc.efficiency);
+    }
+}
