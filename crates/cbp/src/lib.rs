@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use deep_fabric::{ExtollFabric, IbFabric, LinkFailure, NodeId, TransferStats};
 use deep_psmpi::{EpId, LocalBoxFuture, Wire};
-use deep_simkit::{join_all, Semaphore, Sim, SimDuration};
+use deep_simkit::{join_all, Semaphore, Sim, SimDuration, TraceKey};
 
 /// How cross-side flows pick their booster interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +139,9 @@ pub struct CbpWire {
     bis: Vec<Rc<BiState>>,
     bridged: RefCell<BiStats>,
     faults: RefCell<CbpFaultStats>,
+    /// Pre-interned trace keys for the per-chunk retry path.
+    k_retry: TraceKey,
+    k_timeout: TraceKey,
 }
 
 /// Which side an endpoint lives on.
@@ -191,6 +194,8 @@ impl CbpWire {
             bis,
             bridged: RefCell::new(BiStats::default()),
             faults: RefCell::new(CbpFaultStats::default()),
+            k_retry: sim.trace_key("cbp", "retry"),
+            k_timeout: sim.trace_key("cbp", "timeout"),
         })
     }
 
@@ -324,7 +329,7 @@ impl CbpWire {
                 if prev_idx.is_some_and(|p| p != idx) {
                     self.faults.borrow_mut().failovers += 1;
                 }
-                self.sim.emit("cbp", "retry", || {
+                self.sim.emit_key(self.k_retry, || {
                     format!("attempt {} via BI {idx} after {last_err:?}", attempt + 1)
                 });
             }
@@ -336,7 +341,7 @@ impl CbpWire {
                     Some(r) => r,
                     None => {
                         self.faults.borrow_mut().timeouts += 1;
-                        self.sim.emit("cbp", "timeout", || {
+                        self.sim.emit_key(self.k_timeout, || {
                             format!("chunk attempt {} via BI {idx} timed out", attempt + 1)
                         });
                         Err(LinkFailure {

@@ -20,7 +20,7 @@
 
 use std::cell::{Cell, RefCell};
 
-use deep_simkit::{Sim, SimDuration, SimRng, SimTime};
+use deep_simkit::{Sim, SimDuration, SimRng, SimTime, TraceKey};
 
 use crate::topology::Topology;
 use crate::types::{EndpointOverhead, LinkId, NodeId, TransferStats};
@@ -91,6 +91,10 @@ pub struct Network {
     /// Bandwidth for node-local (src == dst) copies.
     loopback_bps: f64,
     specs: Vec<crate::types::LinkSpec>,
+    /// Pre-interned trace keys for the per-transfer fault paths, so a
+    /// retry storm records events without name lookups.
+    k_drop: TraceKey,
+    k_link_fail: TraceKey,
 }
 
 impl Network {
@@ -117,6 +121,8 @@ impl Network {
             mtu: mtu.max(64),
             loopback_bps: 8e9, // a memcpy-grade intra-node path
             specs,
+            k_drop: sim.trace_key("net", "drop"),
+            k_link_fail: sim.trace_key("net", "link-fail"),
         }
     }
 
@@ -216,7 +222,7 @@ impl Network {
         if src == dst {
             if down {
                 self.sim
-                    .emit("net", "drop", || format!("loopback on down node {}", src.0));
+                    .emit_key(self.k_drop, || format!("loopback on down node {}", src.0));
                 return Err(LinkFailure {
                     link: LinkFailure::NO_LINK,
                 });
@@ -243,7 +249,7 @@ impl Network {
             // The message dies at the first hop: charge one hop latency
             // (the time the NIC spends discovering nothing answers).
             self.sim.sleep(self.specs[path[0].0 as usize].latency).await;
-            self.sim.emit("net", "drop", || {
+            self.sim.emit_key(self.k_drop, || {
                 format!("node down on route {} -> {}", src.0, dst.0)
             });
             return Err(LinkFailure { link: path[0] });
@@ -253,7 +259,7 @@ impl Network {
             // latencies, not occupancy) and silently vanishes.
             let lat: SimDuration = path.iter().map(|&l| self.specs[l.0 as usize].latency).sum();
             self.sim.sleep(lat).await;
-            self.sim.emit("net", "drop", || {
+            self.sim.emit_key(self.k_drop, || {
                 format!("nic drop on route {} -> {}", src.0, dst.0)
             });
             return Err(LinkFailure { link: path[0] });
@@ -281,7 +287,7 @@ impl Network {
                     while rng.gen_bool(p) {
                         tries += 1;
                         if tries > fault.max_retries {
-                            self.sim.emit("net", "link-fail", || {
+                            self.sim.emit_key(self.k_link_fail, || {
                                 format!("retries exhausted on link {}", path[0].0)
                             });
                             return Err(LinkFailure { link: path[0] });

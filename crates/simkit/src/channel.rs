@@ -92,9 +92,10 @@ impl<T> Drop for Sender<T> {
         st.senders -= 1;
         if st.senders == 0 {
             // Wake all receivers so they can observe disconnection.
-            let waiters: Vec<ProcId> = st.recv_waiters.drain(..).collect();
-            drop(st);
-            for w in waiters {
+            // `make_ready` only borrows the kernel, never the channel
+            // state, so waking under the state borrow is safe and
+            // allocation-free.
+            while let Some(w) = st.recv_waiters.pop_front() {
                 self.sim.make_ready(w);
             }
         }
@@ -116,9 +117,7 @@ impl<T> Drop for Receiver<T> {
         let mut st = self.state.borrow_mut();
         st.receivers -= 1;
         if st.receivers == 0 {
-            let waiters: Vec<ProcId> = st.send_waiters.drain(..).collect();
-            drop(st);
-            for w in waiters {
+            while let Some(w) = st.send_waiters.pop_front() {
                 self.sim.make_ready(w);
             }
         }
@@ -134,9 +133,7 @@ impl<T> Sender<T> {
             return Err(value);
         }
         st.queue.push_back(value);
-        let waiter = st.recv_waiters.pop_front();
-        drop(st);
-        if let Some(w) = waiter {
+        if let Some(w) = st.recv_waiters.pop_front() {
             self.sim.make_ready(w);
         }
         Ok(())
@@ -166,14 +163,10 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Option<T> {
         let mut st = self.state.borrow_mut();
         let v = st.queue.pop_front();
-        let waiter = if v.is_some() {
-            st.send_waiters.pop_front()
-        } else {
-            None
-        };
-        drop(st);
-        if let Some(w) = waiter {
-            self.sim.make_ready(w);
+        if v.is_some() {
+            if let Some(w) = st.send_waiters.pop_front() {
+                self.sim.make_ready(w);
+            }
         }
         v
     }
@@ -219,9 +212,7 @@ impl<T> Future for SendFut<'_, T> {
         if st.queue.len() < st.capacity {
             st.queue
                 .push_back(this.value.take().expect("SendFut polled after ready"));
-            let waiter = st.recv_waiters.pop_front();
-            drop(st);
-            if let Some(w) = waiter {
+            if let Some(w) = st.recv_waiters.pop_front() {
                 this.chan.sim.make_ready(w);
             }
             Poll::Ready(Ok(()))
@@ -246,9 +237,7 @@ impl<T> Future for RecvFut<'_, T> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut st = self.chan.state.borrow_mut();
         if let Some(v) = st.queue.pop_front() {
-            let waiter = st.send_waiters.pop_front();
-            drop(st);
-            if let Some(w) = waiter {
+            if let Some(w) = st.send_waiters.pop_front() {
                 self.chan.sim.make_ready(w);
             }
             return Poll::Ready(Ok(v));

@@ -16,6 +16,10 @@ pub struct CounterId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
+/// Dense handle to a time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
 /// A histogram over `u64` samples with power-of-two buckets.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -84,8 +88,14 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile from bucket boundaries (upper bound of the
-    /// bucket containing the q-quantile sample).
+    /// Approximate quantile from bucket boundaries: the *inclusive* upper
+    /// bound of the bucket containing the q-quantile sample, clamped to
+    /// the largest observed sample. Returns 0 when empty.
+    ///
+    /// Bucket 0 holds exactly `{0}`; bucket `i ≥ 1` holds
+    /// `[2^(i-1), 2^i - 1]`; the top bucket (64) holds `[2^63, u64::MAX]`
+    /// — its bound is `u64::MAX`, not the former `1u64 << 64`, which
+    /// shift-overflowed (a panic in debug builds, a wrap to 1 in release).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -95,7 +105,12 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << i };
+                let bound = match i {
+                    0 => 0,
+                    1..=63 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                };
+                return bound.min(self.max);
             }
         }
         self.max
@@ -103,13 +118,18 @@ impl Histogram {
 }
 
 /// Registry of named metrics for one simulation.
+///
+/// Export helpers (`all_counters`, `all_histograms`, `all_series`) return
+/// name-sorted tables, so two identical runs print identical reports —
+/// `HashMap` iteration order never leaks into output.
 #[derive(Default)]
 pub struct Metrics {
     counter_names: HashMap<String, CounterId>,
     counters: Vec<u64>,
     histogram_names: HashMap<String, HistogramId>,
     histograms: Vec<Histogram>,
-    series: HashMap<String, Vec<(SimTime, f64)>>,
+    series_names: HashMap<String, SeriesId>,
+    series: Vec<Vec<(SimTime, f64)>>,
 }
 
 impl Metrics {
@@ -187,17 +207,42 @@ impl Metrics {
             .map(|&id| &self.histograms[id.0])
     }
 
-    /// Append a `(time, value)` point to a named series.
+    /// Get-or-create a time series.
+    pub fn series_id(&mut self, name: &str) -> SeriesId {
+        if let Some(&id) = self.series_names.get(name) {
+            return id;
+        }
+        let id = SeriesId(self.series.len());
+        self.series.push(Vec::new());
+        self.series_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Append a `(time, value)` point through a dense handle (hot path;
+    /// no name hashing, no allocation).
+    #[inline]
+    pub fn push_series_id(&mut self, id: SeriesId, t: SimTime, v: f64) {
+        self.series[id.0].push((t, v));
+    }
+
+    /// Append a `(time, value)` point to a named series. Allocates only
+    /// on first registration of the name; prefer [`Metrics::series_id`] +
+    /// [`Metrics::push_series_id`] in loops.
     pub fn push_series(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_default()
-            .push((t, v));
+        let id = self.series_id(name);
+        self.push_series_id(id, t, v);
     }
 
     /// Read a series by name.
     pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
-        self.series.get(name).map(|v| v.as_slice())
+        self.series_names
+            .get(name)
+            .map(|&id| self.series[id.0].as_slice())
+    }
+
+    /// Read a series by handle.
+    pub fn series_value(&self, id: SeriesId) -> &[(SimTime, f64)] {
+        &self.series[id.0]
     }
 
     /// Iterate all counters as `(name, value)`, sorted by name.
@@ -208,6 +253,28 @@ impl Metrics {
             .map(|(n, &id)| (n.clone(), self.counters[id.0]))
             .collect();
         v.sort();
+        v
+    }
+
+    /// Iterate all histograms as `(name, histogram)`, sorted by name.
+    pub fn all_histograms(&self) -> Vec<(String, &Histogram)> {
+        let mut v: Vec<(String, &Histogram)> = self
+            .histogram_names
+            .iter()
+            .map(|(n, &id)| (n.clone(), &self.histograms[id.0]))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Iterate all series as `(name, points)`, sorted by name.
+    pub fn all_series(&self) -> Vec<(String, &[(SimTime, f64)])> {
+        let mut v: Vec<(String, &[(SimTime, f64)])> = self
+            .series_names
+            .iter()
+            .map(|(n, &id)| (n.clone(), self.series[id.0].as_slice()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
 }
@@ -254,8 +321,62 @@ mod tests {
         let q90 = h.quantile(0.9);
         let q99 = h.quantile(0.99);
         assert!(q50 <= q90 && q90 <= q99);
-        // q50 of 1..=1000 lives in the bucket [256,512) -> upper bound 512.
-        assert_eq!(q50, 512);
+        // q50 of 1..=1000 lives in the bucket [256, 511] -> inclusive
+        // upper bound 511.
+        assert_eq!(q50, 511);
+        // The top quantile clamps to the observed maximum, not the
+        // bucket's theoretical bound.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_top_bucket_no_shift_overflow() {
+        // Samples at and above 2^63 land in bucket 64, whose inclusive
+        // bound is u64::MAX — the old exclusive-bound formula computed
+        // `1u64 << 64`, a shift overflow (debug panic / release wrap to
+        // 1). This must hold under both `cargo test` and
+        // `cargo test --release`.
+        let mut h = Histogram::default();
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Both samples share bucket 64, so every quantile reports it.
+        assert_eq!(h.quantile(0.1), u64::MAX);
+        // Clamping: a single sub-max sample in the top bucket reports
+        // the sample, not u64::MAX.
+        let mut h2 = Histogram::default();
+        h2.record((1u64 << 63) + 5);
+        assert_eq!(h2.quantile(0.5), (1u64 << 63) + 5);
+        // And the penultimate bucket's bound is now inclusive too.
+        let mut h3 = Histogram::default();
+        h3.record(1u64 << 62);
+        h3.record(u64::MAX - 1);
+        assert_eq!(h3.quantile(0.25), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0);
+        // Documented empty-state sentinels.
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn empty_metrics_edge_cases() {
+        let m = Metrics::new();
+        assert!(m.all_counters().is_empty());
+        assert!(m.all_histograms().is_empty());
+        assert!(m.all_series().is_empty());
+        assert!(m.series("nothing").is_none());
+        assert_eq!(m.counter_by_name("nothing"), 0);
+        assert!(m.histogram_by_name("nothing").is_none());
     }
 
     #[test]
@@ -278,5 +399,58 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s[1], (SimTime(20), 0.7));
         assert!(m.series("other").is_none());
+        // The dense-id hot path appends to the same series.
+        let id = m.series_id("util");
+        m.push_series_id(id, SimTime(30), 0.9);
+        assert_eq!(m.series_value(id).len(), 3);
+    }
+
+    #[test]
+    fn export_order_is_stable_across_insertion_orders() {
+        // Two registries populated in opposite orders must export
+        // identical tables — HashMap iteration order must not leak.
+        let build = |names: &[&str]| {
+            let mut m = Metrics::new();
+            for n in names {
+                // Values keyed on the name so both registries hold the
+                // same data regardless of insertion order.
+                let v = n.len() as u64;
+                let c = m.counter(n);
+                m.add(c, v);
+                let h = m.histogram(n);
+                m.record(h, 2 * v + 1);
+                m.push_series(n, SimTime(v), v as f64);
+            }
+            m
+        };
+        let names = ["zeta", "alpha", "mid", "beta2", "beta"];
+        let mut reversed = names;
+        reversed.reverse();
+        let (a, b) = (build(&names), build(&reversed));
+
+        assert_eq!(a.all_counters(), b.all_counters());
+        let report = |m: &Metrics| -> Vec<(String, u64, usize)> {
+            let hs: Vec<_> = m
+                .all_histograms()
+                .into_iter()
+                .map(|(n, h)| (n, h.count()))
+                .collect();
+            m.all_series()
+                .into_iter()
+                .zip(hs)
+                .map(|((sn, pts), (hn, hc))| {
+                    assert_eq!(sn, hn, "histogram and series tables align");
+                    (sn, hc, pts.len())
+                })
+                .collect()
+        };
+        assert_eq!(report(&a), report(&b));
+        let sorted: Vec<&str> = {
+            let mut s = names.to_vec();
+            s.sort_unstable();
+            s
+        };
+        let exported: Vec<String> = a.all_counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(exported, sorted);
     }
 }

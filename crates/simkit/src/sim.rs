@@ -7,11 +7,11 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use crate::kernel::{Kernel, ProcId, ProcState, RunOutcome};
+use crate::kernel::{Kernel, ProcId, RunOutcome};
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, Tracer};
+use crate::trace::{TraceEvent, TraceKey, Tracer};
 
 /// A complete simulation run: kernel + metrics + tracer.
 ///
@@ -82,75 +82,40 @@ impl Simulation {
 
     /// Run until the horizon, completion, or deadlock — whichever first.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
         loop {
-            // Drain the ready list at the current instant.
+            // Drain the ready list at the current instant. Each poll costs
+            // exactly two kernel borrows: take the future out, put it back.
             loop {
-                let pid = {
-                    let mut k = self.sim.kernel.borrow_mut();
-                    match k.ready.pop_front() {
-                        Some(p) => {
-                            k.procs[p.0 as usize].queued = false;
-                            p
-                        }
-                        None => break,
-                    }
+                let Some((pid, mut fut)) = self.sim.kernel.borrow_mut().take_ready() else {
+                    break;
                 };
-                self.poll_proc(pid);
+                if fut.as_mut().poll(&mut cx).is_ready() {
+                    self.sim.kernel.borrow_mut().finish_proc(pid);
+                    // `fut` dropped here, outside the kernel borrow.
+                } else {
+                    self.sim.kernel.borrow_mut().finish_poll(pid, fut);
+                }
             }
 
             // Advance to the next timer.
-            let (has_timer, at) = {
-                let k = self.sim.kernel.borrow();
-                match k.next_timer_at() {
-                    Some(at) => (true, at),
-                    None => (false, SimTime::ZERO),
-                }
-            };
-            if !has_timer {
-                let k = self.sim.kernel.borrow();
-                return if k.live == 0 {
-                    RunOutcome::Completed
-                } else {
-                    RunOutcome::Deadlock(k.blocked_proc_names(16))
-                };
-            }
-            if at > horizon {
-                self.sim.kernel.borrow_mut().now = horizon;
-                return RunOutcome::HorizonReached;
-            }
-            self.sim.kernel.borrow_mut().fire_next_timers();
-        }
-    }
-
-    fn poll_proc(&mut self, pid: ProcId) {
-        // Take the future out of its slot so no kernel borrow is held
-        // while polling.
-        let mut fut = {
             let mut k = self.sim.kernel.borrow_mut();
-            match &mut k.procs[pid.0 as usize].state {
-                ProcState::Alive(slot) => match slot.take() {
-                    Some(f) => {
-                        k.current = Some(pid);
-                        f
-                    }
-                    // Already being polled (impossible) or a stale wake.
-                    None => return,
-                },
-                _ => return, // finished or killed; stale wake
+            match k.next_timer_at() {
+                None => {
+                    return if k.live == 0 {
+                        RunOutcome::Completed
+                    } else {
+                        RunOutcome::Deadlock(k.blocked_proc_names(16))
+                    };
+                }
+                Some(at) if at > horizon => {
+                    k.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(at) => k.fire_timers_at(at),
             }
-        };
-        let waker = Waker::noop();
-        let mut cx = Context::from_waker(waker);
-        let done = fut.as_mut().poll(&mut cx).is_ready();
-        let mut k = self.sim.kernel.borrow_mut();
-        k.current = None;
-        if done {
-            k.finish_proc(pid);
-        } else if let ProcState::Alive(slot) = &mut k.procs[pid.0 as usize].state {
-            *slot = Some(fut);
         }
-        // If the state changed to Killed while polling (a process cannot
-        // kill itself mid-poll in this design), the future is dropped here.
     }
 
     /// Current virtual time.
@@ -175,8 +140,8 @@ impl Simulation {
     }
 
     /// Drain the trace log as typed events (empty unless tracing was
-    /// enabled). Tests can assert on event ordering and structure
-    /// instead of grepping formatted strings.
+    /// enabled). Component/kind names are stored interned during the run
+    /// and resolved to strings here, at export.
     pub fn take_events(&self) -> Vec<TraceEvent> {
         self.sim.tracer.borrow_mut().take()
     }
@@ -208,12 +173,7 @@ impl Sim {
         F: Future<Output = T> + 'static,
         T: 'static,
     {
-        let result: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
-        let r2 = result.clone();
-        let wrapped = Box::pin(async move {
-            let v = fut.await;
-            *r2.borrow_mut() = Some(v);
-        });
+        let (wrapped, result) = wrap_proc(fut);
         let id = self.kernel.borrow_mut().add_proc(name.into(), wrapped);
         ProcHandle {
             sim: self.clone(),
@@ -222,21 +182,40 @@ impl Sim {
         }
     }
 
+    /// Spawn with a name formatted straight into recycled kernel storage:
+    /// `sim.spawn_fmt(format_args!("rank-{r}"), fut)` builds no fresh
+    /// `String` once the name pool is warm. Use in spawn-heavy loops.
+    pub fn spawn_fmt<F, T>(&self, name: std::fmt::Arguments<'_>, fut: F) -> ProcHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let (wrapped, result) = wrap_proc(fut);
+        let id = self.kernel.borrow_mut().add_proc_fmt(name, wrapped);
+        ProcHandle {
+            sim: self.clone(),
+            id,
+            result,
+        }
+    }
+
     /// Sleep for a span of virtual time.
+    #[inline]
     pub fn sleep(&self, d: SimDuration) -> Sleep {
         Sleep {
-            sim: self.clone(),
+            kernel: self.kernel.clone(),
             until: self.now() + d,
-            armed: false,
+            token: None,
         }
     }
 
     /// Sleep until an absolute instant (no-op if already past).
+    #[inline]
     pub fn sleep_until(&self, at: SimTime) -> Sleep {
         Sleep {
-            sim: self.clone(),
+            kernel: self.kernel.clone(),
             until: at,
-            armed: false,
+            token: None,
         }
     }
 
@@ -245,7 +224,7 @@ impl Sim {
     /// caller at the back of the ready list exactly once.
     pub fn yield_now(&self) -> YieldNow {
         YieldNow {
-            sim: self.clone(),
+            kernel: self.kernel.clone(),
             yielded: false,
         }
     }
@@ -253,7 +232,10 @@ impl Sim {
     /// Forcibly terminate a process. Joiners are woken; the handle reports
     /// `None` as its result.
     pub fn kill(&self, id: ProcId) {
-        self.kernel.borrow_mut().kill_proc(id);
+        let fut = self.kernel.borrow_mut().kill_proc(id);
+        // Drop outside the borrow: the future's destructors may re-enter
+        // the kernel (e.g. a pending `Sleep` cancels its timer).
+        drop(fut);
     }
 
     /// Record a plain trace line (no-op unless tracing enabled). Recorded
@@ -263,17 +245,35 @@ impl Sim {
     }
 
     /// Record a typed trace event (no-op unless tracing enabled). The
-    /// payload closure is only evaluated when tracing is on.
+    /// payload closure is only evaluated when tracing is on. Component and
+    /// kind are interned — recording allocates only the payload. Hot
+    /// loops should pre-intern with [`Sim::trace_key`] and use
+    /// [`Sim::emit_key`] to skip the name lookups entirely.
     pub fn emit(&self, component: &str, kind: &str, payload: impl FnOnce() -> String) {
         let mut t = self.tracer.borrow_mut();
         if t.is_enabled() {
             let at = self.now();
-            t.record(TraceEvent {
-                at,
-                component: component.to_string(),
-                kind: kind.to_string(),
-                payload: payload(),
-            });
+            t.record_named(at, component, kind, payload());
+        }
+    }
+
+    /// Pre-intern a `(component, kind)` pair for allocation- and
+    /// lookup-free emission via [`Sim::emit_key`]. Keys are cheap `Copy`
+    /// ids, stable for the lifetime of the run, and valid whether or not
+    /// tracing is currently enabled.
+    pub fn trace_key(&self, component: &str, kind: &str) -> TraceKey {
+        self.tracer.borrow_mut().intern_key(component, kind)
+    }
+
+    /// Record a typed trace event through a pre-interned [`TraceKey`]
+    /// (no-op unless tracing enabled). The payload closure is only
+    /// evaluated when tracing is on.
+    #[inline]
+    pub fn emit_key(&self, key: TraceKey, payload: impl FnOnce() -> String) {
+        let mut t = self.tracer.borrow_mut();
+        if t.is_enabled() {
+            let at = self.now();
+            t.record_key(at, key, payload());
         }
     }
 
@@ -287,9 +287,25 @@ impl Sim {
         self.kernel.borrow().current_proc()
     }
 
+    #[inline]
     pub(crate) fn make_ready(&self, id: ProcId) {
         self.kernel.borrow_mut().make_ready(id);
     }
+}
+
+/// Box a user future, capturing its output into a shared result cell.
+fn wrap_proc<F, T>(fut: F) -> (crate::kernel::BoxedProc, Rc<RefCell<Option<T>>>)
+where
+    F: Future<Output = T> + 'static,
+    T: 'static,
+{
+    let result: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+    let r2 = result.clone();
+    let wrapped = Box::pin(async move {
+        let v = fut.await;
+        *r2.borrow_mut() = Some(v);
+    });
+    (wrapped, result)
 }
 
 /// Handle to a spawned process; awaiting it yields `Some(result)` or
@@ -327,46 +343,64 @@ impl<T> Future for ProcHandle<T> {
             Poll::Ready(self.result.borrow_mut().take())
         } else {
             let me = k.current_proc();
-            k.procs[self.id.0 as usize].join_waiters.push(me);
+            k.add_join_waiter(self.id, me);
             Poll::Pending
         }
     }
 }
 
 /// Future returned by [`Sim::sleep`].
+///
+/// Holds only the kernel handle (one `Rc`, not a whole [`Sim`] clone) and
+/// arms exactly one timer. A spurious wake (e.g. by a channel during a
+/// race) does **not** re-push a duplicate timer — the original entry is
+/// still pending. Dropping an armed `Sleep` before its deadline lazily
+/// cancels the timer, so lost races and timeouts leave no dead heap
+/// entries behind.
 pub struct Sleep {
-    sim: Sim,
+    kernel: Rc<RefCell<Kernel>>,
     until: SimTime,
-    armed: bool,
+    /// Token of the armed timer; `None` before arming and after firing.
+    token: Option<u64>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let mut k = self.sim.kernel.borrow_mut();
-        if k.now >= self.until {
-            Poll::Ready(())
-        } else if self.armed {
-            // Spurious wake (e.g. woken by a channel as well) — keep waiting.
+        let this = &mut *self;
+        let mut k = this.kernel.borrow_mut();
+        if k.now >= this.until {
+            // The timer (if armed) fired to get us here; nothing to cancel.
+            this.token = None;
+            return Poll::Ready(());
+        }
+        if this.token.is_none() {
             let me = k.current_proc();
-            let until = self.until;
-            k.schedule_wake(until, me);
-            Poll::Pending
-        } else {
-            let me = k.current_proc();
-            let until = self.until;
-            k.schedule_wake(until, me);
-            drop(k);
-            self.armed = true;
-            Poll::Pending
+            this.token = Some(k.schedule_wake(this.until, me));
+        }
+        // Armed and not yet due: the original timer is still pending, so a
+        // spurious wake needs no re-arm.
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            let mut k = self.kernel.borrow_mut();
+            // Before the deadline the timer cannot have fired yet (time
+            // only advances through pending timers); after it, it has.
+            if k.now < self.until {
+                k.cancel_wake(token);
+            }
         }
     }
 }
 
 /// Future returned by [`Sim::yield_now`].
 pub struct YieldNow {
-    sim: Sim,
+    kernel: Rc<RefCell<Kernel>>,
     yielded: bool,
 }
 
@@ -378,7 +412,7 @@ impl Future for YieldNow {
             return Poll::Ready(());
         }
         self.yielded = true;
-        let mut k = self.sim.kernel.borrow_mut();
+        let mut k = self.kernel.borrow_mut();
         let me = k.current_proc();
         // Re-queue ourselves behind everything already runnable.
         k.procs[me.0 as usize].queued = false; // currently being polled
@@ -479,6 +513,23 @@ mod tests {
             ctx.sleep(SimDuration::micros(1)).await;
             assert!(child.is_finished());
             assert_eq!(child.await, Some(7));
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn spawn_fmt_reuses_name_storage() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        sim.spawn("driver", async move {
+            for i in 0..100u32 {
+                let c = ctx.clone();
+                let h = ctx.spawn_fmt(format_args!("worker-{i}"), async move {
+                    c.sleep(SimDuration::nanos(1)).await;
+                    i
+                });
+                assert_eq!(h.await, Some(i));
+            }
         });
         sim.run().assert_completed();
     }
@@ -592,5 +643,59 @@ mod tests {
         });
         sim.run().assert_completed();
         assert!(sim.take_events().is_empty());
+    }
+
+    #[test]
+    fn emit_key_round_trips_through_interner() {
+        let mut sim = Simulation::new(3);
+        sim.enable_tracing();
+        let ctx = sim.handle();
+        let key = ctx.trace_key("net", "retry");
+        // Interning is idempotent: same names, same key, whole run long.
+        assert_eq!(ctx.trace_key("net", "retry"), key);
+        sim.spawn("emitter", async move {
+            ctx.emit_key(key, || "via key".to_string());
+            ctx.emit("net", "retry", || "via names".to_string());
+            assert_eq!(ctx.trace_key("net", "retry"), key);
+        });
+        sim.run().assert_completed();
+        let events = sim.take_events();
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert_eq!(e.component, "net");
+            assert_eq!(e.kind, "retry");
+        }
+        assert_eq!(events[0].payload, "via key");
+        assert_eq!(events[1].payload, "via names");
+    }
+
+    #[test]
+    fn dropped_sleep_cancels_its_timer() {
+        // A lost race leaves no timer behind: the loser's deadline must
+        // not hold the clock back or wake anyone.
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let h = sim.spawn("racer", async move {
+            let c1 = ctx.clone();
+            let c2 = ctx.clone();
+            let r = ctx
+                .race(
+                    async move {
+                        c1.sleep(SimDuration::micros(1)).await;
+                        "fast"
+                    },
+                    async move {
+                        c2.sleep(SimDuration::secs(3600)).await;
+                        "slow"
+                    },
+                )
+                .await;
+            (r.left(), ctx.now().as_micros())
+        });
+        sim.run().assert_completed();
+        // The run completed at 1us — the abandoned 1-hour timer was
+        // discarded rather than fired.
+        assert_eq!(h.try_result(), Some((Some("fast"), 1)));
+        assert_eq!(sim.now().as_micros(), 1);
     }
 }

@@ -78,22 +78,19 @@ impl Semaphore {
     pub fn release_many(&self, n: u64) {
         let mut st = self.state.borrow_mut();
         st.permits += n;
-        let mut to_wake = Vec::new();
         // Strict FIFO: stop at the first waiter that still cannot be
         // satisfied, even if later (smaller) requests could be. This
-        // prevents starvation of large requests.
+        // prevents starvation of large requests. Waking under the state
+        // borrow is safe (`make_ready` only touches the kernel) and
+        // avoids collecting the woken set into a Vec.
         while let Some(&(pid, want)) = st.waiters.front() {
             if st.permits >= want {
                 st.permits -= want;
                 st.waiters.pop_front();
-                to_wake.push(pid);
+                self.sim.make_ready(pid);
             } else {
                 break;
             }
-        }
-        drop(st);
-        for pid in to_wake {
-            self.sim.make_ready(pid);
         }
     }
 }
@@ -241,9 +238,9 @@ impl<T: Clone> OneShot<T> {
         assert!(!st.fired, "OneShot::set called twice");
         st.fired = true;
         st.value = Some(value);
-        let waiters = std::mem::take(&mut st.waiters);
-        drop(st);
-        for w in waiters {
+        // Drain in place: keeps the waiter Vec's capacity for reuse and
+        // allocates nothing.
+        for w in st.waiters.drain(..) {
             self.sim.make_ready(w);
         }
     }
@@ -341,9 +338,7 @@ impl Future for BarrierWait {
                 if st.arrived == st.parties {
                     st.arrived = 0;
                     st.generation += 1;
-                    let waiters = std::mem::take(&mut st.waiters);
-                    drop(st);
-                    for w in waiters {
+                    for w in st.waiters.drain(..) {
                         this.barrier.sim.make_ready(w);
                     }
                     Poll::Ready(())

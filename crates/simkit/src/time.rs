@@ -234,6 +234,34 @@ mod tests {
     }
 
     #[test]
+    fn from_secs_f64_boundaries() {
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+        // Rounds to the nearest nanosecond rather than truncating.
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9), SimDuration::nanos(2));
+        assert_eq!(SimDuration::from_secs_f64(0.4e-9), SimDuration::ZERO);
+        // Negative zero is still zero, not a validation failure.
+        assert_eq!(SimDuration::from_secs_f64(-0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_secs_f64_rejects_nan() {
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_secs_f64_rejects_infinity() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
     fn duration_scaling() {
         assert_eq!(SimDuration::micros(2) * 3, SimDuration::micros(6));
         assert_eq!(SimDuration::micros(6) / 3, SimDuration::micros(2));

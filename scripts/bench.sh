@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the criterion bench suites and regenerate BENCH_engine.json.
+#
+# Each suite is run REPS times (default 3) with CRITERION_JSON pointed at a
+# fresh JSONL stream; bench_report then keeps the minimum ns/iter per
+# benchmark, which is robust against load spikes on shared machines, and
+# writes the headline events/s / transfers/s / collectives/s / tasks/s
+# report with the recorded pre-optimisation baseline and speedup.
+#
+# Usage: scripts/bench.sh [reps]        (e.g. `scripts/bench.sh 5`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-3}"
+# Absolute path: cargo runs bench binaries with the package directory as
+# cwd, so a relative CRITERION_JSON would silently miss the workspace root.
+JSONL="$PWD/target/criterion.jsonl"
+rm -f "$JSONL"
+
+for i in $(seq 1 "$REPS"); do
+    echo "==> bench round $i/$REPS"
+    for suite in engine fabric collectives cholesky; do
+        CRITERION_JSON="$JSONL" cargo bench -q -p deep-bench --bench "$suite"
+    done
+done
+
+echo "==> bench_report"
+cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json

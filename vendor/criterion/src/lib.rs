@@ -6,8 +6,15 @@
 //! `cargo test --benches`) compiling and running. It measures each
 //! benchmark with a fixed-iteration wall-clock loop and prints a single
 //! mean-time line per benchmark — no statistics, warm-up, or HTML reports.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! completed benchmark additionally appends one JSON line to it:
+//! `{"name":...,"ns_per_iter":...}` plus `"elements"`/`"bytes"` when the
+//! group carries a [`Throughput`] annotation. `scripts/bench.sh` consumes
+//! this stream to build the committed `BENCH_engine.json` report.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::Instant;
 
 /// Prevent the optimiser from discarding a value (best-effort).
@@ -84,6 +91,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 
@@ -94,7 +102,7 @@ impl Criterion {
         f: F,
     ) -> &mut Self {
         let name = name.into();
-        run_one(&name, self.sample_size, f);
+        run_one(&name, self.sample_size, None, f);
         self
     }
 }
@@ -103,11 +111,14 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Record the per-iteration throughput (printed, not analysed).
-    pub fn throughput(&mut self, _t: Throughput) {}
+    /// Record the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
 
     /// Run a benchmark identified by `id` with an input value.
     pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
@@ -117,7 +128,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.criterion.sample_size, |b| f(b, input));
+        run_one(&full, self.criterion.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -128,7 +141,7 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, name.into());
-        run_one(&full, self.criterion.sample_size, f);
+        run_one(&full, self.criterion.sample_size, self.throughput, f);
         self
     }
 
@@ -136,7 +149,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher {
         iters: sample_size.max(1) as u64,
         elapsed_ns: 0,
@@ -144,6 +162,47 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     f(&mut b);
     let per_iter = b.elapsed_ns / b.iters.max(1) as u128;
     println!("bench {name:<48} {per_iter:>12} ns/iter");
+    if let Some(path) = std::env::var_os("CRITERION_JSON") {
+        append_json_line(&path, name, per_iter, throughput);
+    }
+}
+
+/// Append one benchmark result to the `CRITERION_JSON` stream. The name is
+/// escaped minimally (quotes and backslashes); bench names are plain ASCII
+/// identifiers in practice. Failures to write are reported, not fatal: a
+/// broken results file should not abort the bench run itself.
+fn append_json_line(
+    path: &std::ffi::OsStr,
+    name: &str,
+    ns_per_iter: u128,
+    throughput: Option<Throughput>,
+) {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let mut line = format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter}");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let _ = write!(line, ",\"elements\":{n}");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let _ = write!(line, ",\"bytes\":{n}");
+        }
+        None => {}
+    }
+    line.push('}');
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot append to {path:?}: {e}");
+    }
 }
 
 /// Declare a benchmark group entry point (both criterion forms).
@@ -188,5 +247,31 @@ mod tests {
             b.iter(|| black_box(n * 2))
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_lines_carry_name_time_and_throughput() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            path.as_os_str(),
+            "g/\"q\"",
+            1234,
+            Some(Throughput::Elements(8)),
+        );
+        append_json_line(path.as_os_str(), "solo", 5, None);
+        append_json_line(path.as_os_str(), "bytes", 9, Some(Throughput::Bytes(64)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"name":"g/\"q\"","ns_per_iter":1234,"elements":8}"#,
+                r#"{"name":"solo","ns_per_iter":5}"#,
+                r#"{"name":"bytes","ns_per_iter":9,"bytes":64}"#,
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }
