@@ -1,0 +1,65 @@
+//! Parallel sweep throughput: the same Monte-Carlo resilience sweep on
+//! a 1-thread pool vs a pool sized to the machine. The per-replica work
+//! is a full multi-level checkpoint/restart simulation, i.e. the real
+//! unit of the experiment suite — so `nthreads / 1thread` is the
+//! committed measure of what the work-stealing pool buys (tracked as
+//! `sweep_runs_per_sec` in BENCH_engine.json).
+//!
+//! Both sides produce bit-identical results (asserted in
+//! `tests/parallel_determinism.rs`); only the wall clock differs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use deep_core::{mean_multilevel_efficiency, LevelCost, MultiLevelParams};
+use rayon::ThreadPoolBuilder;
+
+const REPLICAS: u32 = 64;
+
+fn params() -> MultiLevelParams {
+    MultiLevelParams {
+        work_s: 2_000.0,
+        n_nodes: 64,
+        mtbf_node_s: 40_000.0,
+        interval_s: 10.0,
+        levels: [
+            LevelCost {
+                write_s: 0.5,
+                restore_s: 0.5,
+            },
+            LevelCost {
+                write_s: 2.0,
+                restore_s: 2.0,
+            },
+            LevelCost {
+                write_s: 8.0,
+                restore_s: 6.0,
+            },
+        ],
+        l2_every: 2,
+        l3_every: 4,
+        restart_s: 30.0,
+        severity_weights: [0.6, 0.3, 0.1],
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("sweep/mc_multilevel");
+    g.throughput(Throughput::Elements(REPLICAS as u64));
+
+    let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    g.bench_function("1thread", |b| {
+        b.iter(|| one.install(|| mean_multilevel_efficiency(&p, 11, REPLICAS)))
+    });
+
+    let n = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let full = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+    g.bench_function("nthreads", |b| {
+        b.iter(|| full.install(|| mean_multilevel_efficiency(&p, 11, REPLICAS)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,93 +1,11 @@
 //! A30 (ablation) — ready-queue policy of the OmpSs runtime: FIFO vs
 //! critical-path-first list scheduling, on the tiled Cholesky and on an
 //! adversarial chain-plus-swarm DAG.
-
-use deep_apps::cholesky::{cholesky_graph, spd_matrix, TiledMatrix};
-use deep_core::{fmt_f, Table};
-use deep_hw::NodeModel;
-use deep_ompss::{run_dataflow_policy, Access, RegionId, SchedPolicy, TaskCost, TaskGraph};
-use deep_simkit::{SimDuration, Simulation};
-
-fn run(graph: TaskGraph, workers: u32, policy: SchedPolicy) -> (f64, f64) {
-    let node = NodeModel::xeon_phi_knc();
-    let mut sim = Simulation::new(1);
-    let ctx = sim.handle();
-    let h = sim.spawn("run", async move {
-        run_dataflow_policy(&ctx, graph, &node, workers, policy).await
-    });
-    sim.run().assert_completed();
-    let r = h.try_result().unwrap();
-    (r.makespan.as_secs_f64(), r.critical_path.as_secs_f64())
-}
-
-fn cholesky(nt: usize) -> TaskGraph {
-    let ts = 16;
-    let a = spd_matrix(nt * ts);
-    let m = TiledMatrix::from_dense(&a, nt, ts);
-    cholesky_graph(&m)
-}
-
-fn chain_plus_swarm() -> TaskGraph {
-    let mut g = TaskGraph::new();
-    for step in 0..12u64 {
-        for i in 0..16u64 {
-            g.add_task(
-                "short",
-                &[(RegionId(1000 + step * 32 + i), Access::InOut)],
-                TaskCost::Fixed(SimDuration::micros(40)),
-                0,
-                None,
-            );
-        }
-        g.add_task(
-            "chain",
-            &[(RegionId(0), Access::InOut)],
-            TaskCost::Fixed(SimDuration::micros(120)),
-            0,
-            None,
-        );
-    }
-    g
-}
+//!
+//! Logic lives in `deep_bench::experiments::a30_scheduler_ablation` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let mut t = Table::new(
-        "A30",
-        "dataflow ready-queue policy ablation (makespan, µs)",
-        &[
-            "workload",
-            "workers",
-            "FIFO",
-            "CP-first",
-            "CP-first wins",
-            "cp bound",
-        ],
-    );
-    type Case = (&'static str, Box<dyn Fn() -> TaskGraph>, u32);
-    let cases: Vec<Case> = vec![
-        ("cholesky 12x12", Box::new(|| cholesky(12)), 16),
-        ("cholesky 12x12", Box::new(|| cholesky(12)), 60),
-        ("cholesky 16x16", Box::new(|| cholesky(16)), 60),
-        ("chain+swarm", Box::new(chain_plus_swarm), 4),
-        ("chain+swarm", Box::new(chain_plus_swarm), 8),
-    ];
-    for (name, mk, workers) in cases {
-        let (fifo, cp_bound) = run(mk(), workers, SchedPolicy::Fifo);
-        let (cpf, _) = run(mk(), workers, SchedPolicy::CriticalPathFirst);
-        t.row(&[
-            name.into(),
-            workers.to_string(),
-            fmt_f(fifo * 1e6),
-            fmt_f(cpf * 1e6),
-            format!("{:.2}x", fifo / cpf),
-            fmt_f(cp_bound * 1e6),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: priority scheduling matters when wide cheap parallelism can\n\
-         starve the critical chain (chain+swarm); on Cholesky the dependence\n\
-         structure already orders the panel factorisations, so the gain is\n\
-         small — evidence for the paper's choice of a simple runtime."
-    );
+    deep_bench::run_experiment_main("a30_scheduler_ablation");
 }

@@ -1,97 +1,11 @@
 //! A33 (ablation) — allreduce algorithm selection: recursive doubling vs
 //! ring (reduce-scatter + allgather) vs reduce+bcast, across payload
 //! sizes and group sizes, on the simulated InfiniBand fabric.
-
-use std::rc::Rc;
-
-use deep_core::{fmt_bytes, fmt_f, Table};
-use deep_fabric::IbFabric;
-use deep_psmpi::{launch_world, EpId, IbWire, MpiParams, ReduceOp, Universe, Value};
-use deep_simkit::Simulation;
-
-#[derive(Clone, Copy, PartialEq)]
-enum Algo {
-    RecursiveDoubling,
-    Ring,
-    ReduceBcast,
-}
-
-fn run(algo: Algo, ranks: u32, doubles: usize) -> f64 {
-    let mut sim = Simulation::new(1);
-    let ctx = sim.handle();
-    let ib = Rc::new(IbFabric::new(&ctx, ranks));
-    // Pin thresholds so the adaptive layer doesn't override the choice.
-    let params = MpiParams {
-        allreduce_ring_threshold: if algo == Algo::Ring { 0 } else { u64::MAX },
-        ..MpiParams::default()
-    };
-    let uni = Universe::new(&ctx, Rc::new(IbWire::new(ib)), ranks as usize, params);
-    launch_world(&uni, "ar", (0..ranks).map(EpId).collect(), move |m| {
-        Box::pin(async move {
-            let world = m.world().clone();
-            let mine: Vec<f64> = vec![m.rank() as f64; doubles];
-            let bytes = 8 * doubles as u64;
-            for _ in 0..5 {
-                match algo {
-                    Algo::Ring => {
-                        m.allreduce_ring(&world, ReduceOp::Sum, mine.clone()).await;
-                    }
-                    Algo::RecursiveDoubling => {
-                        m.allreduce(&world, ReduceOp::Sum, Value::vec(mine.clone()), bytes)
-                            .await;
-                    }
-                    Algo::ReduceBcast => {
-                        let partial = m
-                            .reduce(&world, 0, ReduceOp::Sum, Value::vec(mine.clone()), bytes)
-                            .await;
-                        m.bcast(&world, 0, partial.unwrap_or(Value::Unit), bytes)
-                            .await;
-                    }
-                }
-            }
-        })
-    });
-    sim.run().assert_completed();
-    sim.now().as_secs_f64() / 5.0
-}
+//!
+//! Logic lives in `deep_bench::experiments::a33_allreduce_algorithms` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let mut t = Table::new(
-        "A33",
-        "allreduce algorithm ablation: time per operation [µs], 16 ranks on IB",
-        &[
-            "payload",
-            "recursive doubling",
-            "ring",
-            "reduce+bcast",
-            "best",
-        ],
-    );
-    for doubles in [16usize, 1024, 32_768, 262_144, 1_048_576] {
-        let rd = run(Algo::RecursiveDoubling, 16, doubles);
-        let ring = run(Algo::Ring, 16, doubles);
-        let rb = run(Algo::ReduceBcast, 16, doubles);
-        let best = if rd <= ring && rd <= rb {
-            "rec-doubling"
-        } else if ring <= rb {
-            "ring"
-        } else {
-            "reduce+bcast"
-        };
-        t.row(&[
-            fmt_bytes(8 * doubles as u64),
-            fmt_f(rd * 1e6),
-            fmt_f(ring * 1e6),
-            fmt_f(rb * 1e6),
-            best.into(),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: latency-bound small payloads favour the log-depth recursive\n\
-         doubling; bandwidth-bound large payloads favour the ring, which\n\
-         moves 2(n-1)/n of the data per rank instead of log2(n) full copies.\n\
-         This crossover is exactly why the MPI layer selects by size\n\
-         (MpiParams::allreduce_ring_threshold)."
-    );
+    deep_bench::run_experiment_main("a33_allreduce_algorithms");
 }

@@ -1,8 +1,11 @@
 //! Turn the criterion shim's `CRITERION_JSON` stream into the committed
 //! `BENCH_engine.json` report.
 //!
-//! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json]`
+//! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json] [suite.json ...]`
 //! (defaults: `target/criterion.jsonl`, `BENCH_engine.json`).
+//! Trailing args are `run_experiments --json` outputs; their
+//! `suite_wall_seconds` land in the `experiment_suite` block keyed by
+//! thread count, with the N-vs-1 speedup when both sides are present.
 //!
 //! The input is the JSONL stream the vendored criterion shim appends when
 //! `CRITERION_JSON` is set — one line per completed benchmark. Lines may
@@ -116,6 +119,18 @@ fn best_rate(results: &BTreeMap<String, Entry>, prefix: &str) -> Option<f64> {
         .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
 }
 
+/// Parse a `run_experiments --json` file into (threads, suite wall s).
+fn parse_suite(text: &str) -> Option<(u64, f64)> {
+    let threads: u64 = field(text, "\"threads\": ")?.parse().ok()?;
+    let start = text.find("\"suite_wall_seconds\": ")? + "\"suite_wall_seconds\": ".len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    let wall: f64 = rest[..end].parse().ok()?;
+    Some((threads, wall))
+}
+
 fn fmt_rate(r: Option<f64>) -> String {
     match r {
         Some(v) => format!("{v:.0}"),
@@ -123,12 +138,19 @@ fn fmt_rate(r: Option<f64>) -> String {
     }
 }
 
-/// Render the full report as pretty-printed JSON.
-fn render(results: &BTreeMap<String, Entry>) -> String {
+/// Render the full report as pretty-printed JSON. `suites` holds
+/// (threads, suite_wall_seconds) pairs from `run_experiments --json`.
+fn render(results: &BTreeMap<String, Entry>, suites: &[(u64, f64)]) -> String {
     let events = results.get("engine/timers/1000").and_then(|e| e.per_sec());
     let transfers = best_rate(results, "fabric/transfers/");
     let collectives = best_rate(results, "mpi/");
     let tasks = best_rate(results, "ompss/");
+    let sweep_1 = results
+        .get("sweep/mc_multilevel/1thread")
+        .and_then(|e| e.per_sec());
+    let sweep_n = results
+        .get("sweep/mc_multilevel/nthreads")
+        .and_then(|e| e.per_sec());
 
     let (base_ns, base_elems) = BASELINE_ENGINE
         .iter()
@@ -152,6 +174,40 @@ fn render(results: &BTreeMap<String, Entry>) -> String {
         fmt_rate(collectives)
     );
     let _ = writeln!(out, "    \"tasks_per_sec\": {}", fmt_rate(tasks));
+    let _ = writeln!(out, "  }},");
+    // Parallel sweep-harness trajectory: Monte-Carlo runs/s on a
+    // 1-thread vs machine-width pool, and the experiment-suite wall
+    // clock at each measured thread count.
+    let _ = writeln!(out, "  \"experiment_suite\": {{");
+    let _ = writeln!(
+        out,
+        "    \"sweep_runs_per_sec_1thread\": {},",
+        fmt_rate(sweep_1)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sweep_runs_per_sec_nthreads\": {},",
+        fmt_rate(sweep_n)
+    );
+    let _ = writeln!(out, "    \"suite_wall_seconds_by_threads\": {{");
+    for (i, (threads, wall)) in suites.iter().enumerate() {
+        let comma = if i + 1 < suites.len() { "," } else { "" };
+        let _ = writeln!(out, "      \"{threads}\": {wall:.3}{comma}");
+    }
+    let _ = writeln!(out, "    }},");
+    let wall_1 = suites.iter().find(|(t, _)| *t == 1).map(|&(_, w)| w);
+    let wall_best = suites
+        .iter()
+        .filter(|(t, _)| *t > 1)
+        .map(|&(_, w)| w)
+        .fold(None, |acc: Option<f64>, w| {
+            Some(acc.map_or(w, |a| a.min(w)))
+        });
+    let suite_speedup = match (wall_1, wall_best) {
+        (Some(a), Some(b)) if b > 0.0 => format!("{:.2}", a / b),
+        _ => "null".to_string(),
+    };
+    let _ = writeln!(out, "    \"suite_speedup_vs_1thread\": {suite_speedup}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"baseline\": {{");
     let _ = writeln!(out, "    \"commit\": \"{BASELINE_COMMIT}\",");
@@ -196,6 +252,20 @@ fn render(results: &BTreeMap<String, Entry>) -> String {
     out
 }
 
+/// Sort (threads, wall) pairs and keep the best wall per thread count.
+/// On a single-core host the "machine width" pass also runs with one
+/// thread, and a repeated key would make the JSON map invalid.
+fn dedupe_suites(suites: &mut Vec<(u64, f64)>) {
+    suites.sort_unstable_by_key(|&(t, _)| t);
+    suites.dedup_by(|&mut (t_later, w_later), &mut (t_kept, ref mut w_kept)| {
+        let dup = t_later == t_kept;
+        if dup && w_later < *w_kept {
+            *w_kept = w_later;
+        }
+        dup
+    });
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let input = args
@@ -204,6 +274,15 @@ fn main() {
     let output = args
         .next()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut suites: Vec<(u64, f64)> = Vec::new();
+    for path in args {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read suite file {path}: {e}"));
+        let parsed = parse_suite(&text)
+            .unwrap_or_else(|| panic!("{path} is not a run_experiments --json file"));
+        suites.push(parsed);
+    }
+    dedupe_suites(&mut suites);
     let text = std::fs::read_to_string(&input)
         .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run scripts/bench.sh first)"));
     let results = collect(&text);
@@ -211,7 +290,7 @@ fn main() {
         results.contains_key("engine/timers/1000"),
         "input has no engine/timers/1000 result; did the engine bench run?"
     );
-    let report = render(&results);
+    let report = render(&results, &suites);
     std::fs::write(&output, &report).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     println!("wrote {output} ({} benchmarks)", results.len());
 }
@@ -262,7 +341,7 @@ mod tests {
             "{\"name\":\"mpi/allreduce/8\",\"ns_per_iter\":1000,\"elements\":4}\n",
             "{\"name\":\"ompss/cholesky_graph_build/8\",\"ns_per_iter\":1000,\"elements\":120}\n",
         );
-        let report = render(&collect(text));
+        let report = render(&collect(text), &[]);
         // 100000 elements / 5 ms = 20 M events/s; baseline ≈ 8.92 M → 2.24×.
         assert!(report.contains("\"events_per_sec\": 20000000"));
         assert!(report.contains("\"transfers_per_sec\": 2000000"));
@@ -270,5 +349,43 @@ mod tests {
         assert!(report.contains("\"tasks_per_sec\": 120000000"));
         assert!(report.contains("\"events_per_sec_speedup_vs_baseline\": 2.24"));
         assert!(report.contains("\"commit\": \"15d49ed\""));
+        // No suite files and no sweep bench → nulls, not a broken block.
+        assert!(report.contains("\"sweep_runs_per_sec_1thread\": null"));
+        assert!(report.contains("\"suite_speedup_vs_1thread\": null"));
+    }
+
+    #[test]
+    fn parse_suite_extracts_threads_and_wall() {
+        let text =
+            "{\n  \"threads\": 4,\n  \"suite_wall_seconds\": 2.625000,\n  \"failures\": 0\n}\n";
+        assert_eq!(parse_suite(text), Some((4, 2.625)));
+        assert!(parse_suite("{}").is_none());
+    }
+
+    #[test]
+    fn report_suite_block_and_speedup() {
+        let text = concat!(
+            "{\"name\":\"engine/timers/1000\",\"ns_per_iter\":5000000,\"elements\":100000}\n",
+            "{\"name\":\"sweep/mc_multilevel/1thread\",\"ns_per_iter\":64000000,\"elements\":64}\n",
+            "{\"name\":\"sweep/mc_multilevel/nthreads\",\"ns_per_iter\":16000000,\"elements\":64}\n",
+        );
+        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)]);
+        // 64 runs / 64 ms = 1000 runs/s single-threaded, 4000 wide.
+        assert!(report.contains("\"sweep_runs_per_sec_1thread\": 1000"));
+        assert!(report.contains("\"sweep_runs_per_sec_nthreads\": 4000"));
+        assert!(report.contains("\"1\": 8.400"));
+        assert!(report.contains("\"4\": 2.100"));
+        assert!(report.contains("\"suite_speedup_vs_1thread\": 4.00"));
+    }
+
+    #[test]
+    fn duplicate_thread_counts_collapse_to_the_best_wall() {
+        // Single-core host: both bench.sh passes report threads=1.
+        let mut suites = vec![(1, 8.4), (1, 6.7), (4, 2.1), (4, 2.5)];
+        dedupe_suites(&mut suites);
+        assert_eq!(suites, vec![(1, 6.7), (4, 2.1)]);
+
+        let report = render(&BTreeMap::new(), &suites);
+        assert_eq!(report.matches("\"1\": ").count(), 1, "{report}");
     }
 }

@@ -10,66 +10,11 @@
 //! every MTBF point, the cheap analytic model can be trusted for the
 //! large design-space sweeps — and the DES fault machinery is pinned to
 //! an independent implementation of the same physics.
-
-use deep_core::{fmt_f, Table};
-use deep_faults::{er03_params, fault_sweep};
+//!
+//! Logic lives in `deep_bench::experiments::er03_fault_sweep` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let (config, ranks, bytes_per_rank, base) = er03_params();
-    // From "a failure every few minutes" to "failures are rare at this
-    // job scale" (system MTBF = node MTBF / 8).
-    let mtbfs = [100.0, 250.0, 600.0, 2000.0];
-    let replicas = 10;
-    let seed = 9;
-
-    let points = fault_sweep(
-        &config,
-        ranks,
-        bytes_per_rank,
-        &base,
-        &mtbfs,
-        seed,
-        replicas,
-    );
-
-    let mut t = Table::new(
-        "ER03",
-        "DES vs analytic multi-level resilience, swept over node MTBF",
-        &[
-            "node MTBF [s]",
-            "system MTBF [s]",
-            "DES eff",
-            "MC eff",
-            "gap",
-            "DES trunc",
-            "MC trunc",
-        ],
-    );
-    let mut worst_gap = 0.0f64;
-    for pt in &points {
-        let gap = (pt.des.efficiency - pt.mc.efficiency).abs();
-        worst_gap = worst_gap.max(gap);
-        t.row(&[
-            fmt_f(pt.mtbf_node_s),
-            fmt_f(pt.mtbf_node_s / ranks as f64),
-            fmt_f(pt.des.efficiency),
-            fmt_f(pt.mc.efficiency),
-            fmt_f(gap),
-            pt.des.truncated_runs.to_string(),
-            pt.mc.truncated_runs.to_string(),
-        ]);
-    }
-    t.print();
-
-    println!(
-        "shape: both curves climb monotonically with node MTBF — frequent\n\
-         failures burn wall time in restarts and lost segments, rare ones\n\
-         leave only the checkpoint overhead — and the discrete-event run\n\
-         stays within {} of the analytic model at every point (paired RNG\n\
-         streams: same failure times, same severities). The residual gap\n\
-         is the model's fixed per-level cost versus the machine's\n\
-         state-dependent I/O timing. Agreement across the sweep is the\n\
-         ER03 acceptance criterion, asserted in tests/experiment_shapes.rs.",
-        fmt_f(worst_gap)
-    );
+    deep_bench::run_experiment_main("er03_fault_sweep");
 }

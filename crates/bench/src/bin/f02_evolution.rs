@@ -2,61 +2,11 @@
 //!
 //! Meuer's law (×1000/decade) against Moore's law (×~100/decade), fitted
 //! on the historical Top500-#1 series the slide plots.
-
-use deep_core::{fmt_f, Table};
-use deep_hw::generations::{
-    fitted_factor_per_decade, juelich_lineage, meuer_factor, moore_factor, top500_number_one,
-};
+//!
+//! Logic lives in `deep_bench::experiments::f02_evolution` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let series = top500_number_one();
-    let mut t = Table::new(
-        "F02",
-        "performance evolution: Top500 #1 vs the two scaling laws",
-        &[
-            "year",
-            "Top500 #1 [GF]",
-            "Meuer projection [GF]",
-            "Moore projection [GF]",
-        ],
-    );
-    let (y0, v0) = series[0];
-    for &(y, v) in &series {
-        let dy = (y - y0) as f64;
-        t.row(&[
-            y.to_string(),
-            fmt_f(v),
-            fmt_f(v0 * meuer_factor(dy)),
-            fmt_f(v0 * moore_factor(dy)),
-        ]);
-    }
-    t.print();
-
-    let fit = fitted_factor_per_decade(&series);
-    println!("fitted growth of the historical series: x{fit:.0} per decade");
-    println!(
-        "Meuer's law says x1000; Moore's law alone gives x{:.0}.",
-        moore_factor(10.0)
-    );
-    println!(
-        "the gap (x{:.0}) is what parallelism growth contributed — the paper's\n\
-         motivation for ever more (and more heterogeneous) parallelism.\n",
-        fit / moore_factor(10.0)
-    );
-
-    let mut t2 = Table::new(
-        "F02b",
-        "Jülich lineage (slide 18 timeline)",
-        &["system", "year", "peak [GF]", "power [kW]", "GF/W"],
-    );
-    for g in juelich_lineage() {
-        t2.row(&[
-            g.name.clone(),
-            g.year.to_string(),
-            fmt_f(g.peak_gflops),
-            fmt_f(g.power_kw),
-            fmt_f(g.peak_gflops / (g.power_kw * 1000.0)),
-        ]);
-    }
-    t2.print();
+    deep_bench::run_experiment_main("f02_evolution");
 }

@@ -3,44 +3,11 @@
 //! Projects the facility power of a hypothetical 1-EFlop machine built
 //! from each node type of the 2012/2013 era, the arithmetic behind the
 //! paper's exascale anxiety.
-
-use deep_core::{fmt_f, Table};
-use deep_hw::NodeModel;
+//!
+//! Logic lives in `deep_bench::experiments::f03_exascale` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let exa = 1e18;
-    let mut t = Table::new(
-        "F03",
-        "what would an exaflop cost in power, per building block?",
-        &[
-            "node type",
-            "peak/node [GF]",
-            "GF/W",
-            "nodes for 1 EF",
-            "facility [MW]",
-        ],
-    );
-    for node in [
-        NodeModel::bluegene_p_node(),
-        NodeModel::bluegene_q_node(),
-        NodeModel::xeon_cluster_node(),
-        NodeModel::gpu_k20x(),
-        NodeModel::xeon_phi_knc(),
-    ] {
-        let nodes = exa / node.peak_flops();
-        let mw = nodes * node.power.peak_w / 1e6;
-        t.row(&[
-            node.name.clone(),
-            fmt_f(node.peak_flops() / 1e9),
-            fmt_f(node.peak_gflops_per_watt()),
-            format!("{:.2e}", nodes),
-            fmt_f(mw),
-        ]);
-    }
-    t.print();
-    println!(
-        "even the booster silicon of 2012 needs ~200 MW for an exaflop —\n\
-         double the \"are ~100 MW acceptable?\" line of slide 3; Xeon-only\n\
-         needs ~1 GW. Heterogeneity is not optional at exascale."
-    );
+    deep_bench::run_experiment_main("f03_exascale");
 }

@@ -13,118 +13,11 @@
 //! Small rank counts run on the discrete-event simulator over a real IB
 //! fabric; the full sweep uses the LogGP models validated against those
 //! DES points (printed side by side).
-
-use deep_core::{fmt_f, Table};
-use deep_psmpi::{NetModel, ReduceOp, Value};
-use deep_simkit::SimDuration;
-
-/// Fixed per-rank compute per iteration under weak scaling.
-const COMPUTE: SimDuration = SimDuration::micros(2_000);
-const HALO_BYTES: u64 = 64 << 10;
-const A2A_BLOCK: u64 = 4 << 10;
-
-fn spmv_iter_analytic(m: &NetModel, n: u64) -> SimDuration {
-    // two halo exchanges + one dot-product allreduce
-    COMPUTE + m.p2p(HALO_BYTES) * 2 + m.allreduce(n, 8)
-}
-
-fn complex_iter_analytic(m: &NetModel, n: u64) -> SimDuration {
-    spmv_iter_analytic(m, n) + m.alltoall(n, A2A_BLOCK)
-}
-
-/// Measure one iteration of the skeleton on the DES over IB.
-fn des_iter(n: u32, complex: bool) -> f64 {
-    let iters = 10u32;
-    let (_, total) = deep_bench::run_ib_ranks(1, n, move |m| {
-        Box::pin(async move {
-            let world = m.world().clone();
-            let size = world.size();
-            for _ in 0..iters {
-                m.sim().sleep(COMPUTE).await;
-                // halo with ring neighbours
-                let right = (m.rank() + 1) % size;
-                let left = (m.rank() + size - 1) % size;
-                if size > 1 {
-                    m.sendrecv(
-                        &world,
-                        right,
-                        7,
-                        Value::Unit,
-                        HALO_BYTES,
-                        Some(left),
-                        Some(7),
-                    )
-                    .await;
-                    m.sendrecv(
-                        &world,
-                        left,
-                        8,
-                        Value::Unit,
-                        HALO_BYTES,
-                        Some(right),
-                        Some(8),
-                    )
-                    .await;
-                }
-                m.allreduce(&world, ReduceOp::Sum, Value::F64(1.0), 8).await;
-                if complex {
-                    let blocks = (0..size).map(|_| Value::Unit).collect();
-                    m.alltoall(&world, blocks, A2A_BLOCK).await;
-                }
-            }
-            0.0
-        })
-    });
-    total / iters as f64
-}
+//!
+//! Logic lives in `deep_bench::experiments::f09_scalability` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let m = NetModel::ib_fdr();
-    let base_spmv = spmv_iter_analytic(&m, 1).as_secs_f64();
-    let base_cplx = complex_iter_analytic(&m, 1).as_secs_f64();
-
-    let mut t = Table::new(
-        "F09",
-        "weak-scaling parallel efficiency by application class",
-        &[
-            "ranks",
-            "SpMV eff (model)",
-            "SpMV eff (DES)",
-            "complex eff (model)",
-            "complex eff (DES)",
-        ],
-    );
-    let des_points = [4u32, 16, 64];
-    for exp in [2u32, 4, 6, 8, 10, 12, 14, 16, 18] {
-        let n = 1u64 << exp;
-        let spmv_eff = base_spmv / spmv_iter_analytic(&m, n).as_secs_f64();
-        let cplx_eff = base_cplx / complex_iter_analytic(&m, n).as_secs_f64();
-        let (spmv_des, cplx_des) = if des_points.contains(&(n as u32)) {
-            let s = base_spmv / des_iter(n as u32, false);
-            let c = base_cplx / des_iter(n as u32, true);
-            (fmt_f(s), fmt_f(c))
-        } else {
-            ("-".into(), "-".into())
-        };
-        t.row(&[
-            n.to_string(),
-            fmt_f(spmv_eff),
-            spmv_des,
-            fmt_f(cplx_eff),
-            cplx_des,
-        ]);
-    }
-    t.print();
-
-    let spmv_262k = base_spmv / spmv_iter_analytic(&m, 1 << 18).as_secs_f64();
-    let cplx_4k = base_cplx / complex_iter_analytic(&m, 1 << 12).as_secs_f64();
-    println!(
-        "shape: the SpMV class holds {:.0}% efficiency at 262,144 ranks; the\n\
-         complex class is already down to {:.0}% at 4,096 ranks and keeps\n\
-         falling linearly — matching slide 9's claim that only regular sparse\n\
-         codes reach O(300k) cores. DEEP's answer: run each class on the\n\
-         hardware that suits it.",
-        spmv_262k * 100.0,
-        cplx_4k * 100.0
-    );
+    deep_bench::run_experiment_main("f09_scalability");
 }

@@ -10,70 +10,11 @@
 //! time is measured by the DES, and the *compute* time per rank comes
 //! from the roofline model of a KNC booster node. Total = compute + comm,
 //! exactly how the machine would spend its time.
-
-use deep_apps::{run_cg_ideal, run_fft_ideal};
-use deep_core::{fmt_f, Table};
-use deep_hw::{exec_time, KernelProfile, NodeModel};
+//!
+//! Logic lives in `deep_bench::experiments::f09b_fft` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let node = NodeModel::xeon_phi_knc();
-    let fft_n = 256usize; // transpose: 2 MiB over p^2 messages per step
-    let cg_n = 1024usize; // halo: 8 KiB rows + 8 B allreduces
-    let cg_iters = 60u32;
-
-    // Roofline compute of the whole problem (split over ranks).
-    // FFT: two batches of n size-n FFTs -> ~ 2 * n * 5 n log2 n flops.
-    let fft_flops = 2.0 * fft_n as f64 * 5.0 * fft_n as f64 * (fft_n as f64).log2();
-    // CG: ~16 flops per grid point per iteration.
-    let cg_flops = 16.0 * (cg_n * cg_n) as f64 * cg_iters as f64;
-    let compute_s = |total_flops: f64, ranks: u32| {
-        let k = KernelProfile {
-            flops: total_flops / ranks as f64,
-            bytes: total_flops / ranks as f64, // stream-ish intensity 1
-            compute_efficiency: 0.5,
-            bandwidth_efficiency: 0.6,
-        };
-        exec_time(&node, &k, node.cores).time.as_secs_f64()
-    };
-
-    let mut t = Table::new(
-        "F09b",
-        "strong scaling with real kernels on KNC nodes: FFT (alltoall) vs CG (halo)",
-        &[
-            "ranks",
-            "FFT total [µs]",
-            "FFT comm share",
-            "FFT speedup",
-            "CG total [ms]",
-            "CG comm share",
-            "CG speedup",
-        ],
-    );
-    let mut fft_base = None;
-    let mut cg_base = None;
-    for ranks in [1u32, 2, 4, 8, 16] {
-        let (_, fft_comm_ns) = run_fft_ideal(1, ranks, fft_n);
-        let (_, cg_comm_ns) = run_cg_ideal(1, ranks, cg_n, cg_n, cg_iters, 1e-12);
-        let fft_total = compute_s(fft_flops, ranks) + fft_comm_ns as f64 / 1e9;
-        let cg_total = compute_s(cg_flops, ranks) + cg_comm_ns as f64 / 1e9;
-        let fb = *fft_base.get_or_insert(fft_total);
-        let cb = *cg_base.get_or_insert(cg_total);
-        t.row(&[
-            ranks.to_string(),
-            fmt_f(fft_total * 1e6),
-            fmt_f(fft_comm_ns as f64 / 1e9 / fft_total),
-            format!("{:.2}x", fb / fft_total),
-            fmt_f(cg_total * 1e3),
-            fmt_f(cg_comm_ns as f64 / 1e9 / cg_total),
-            format!("{:.2}x", cb / cg_total),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: CG's halo/allreduce pattern keeps most of its time in\n\
-         compute and keeps speeding up; the FFT's transpose floods the\n\
-         fabric with p^2 messages per step — its communication share grows\n\
-         with rank count until scaling flattens and reverses. Slide 9's\n\
-         two classes, measured rather than asserted."
-    );
+    deep_bench::run_experiment_main("f09b_fft");
 }

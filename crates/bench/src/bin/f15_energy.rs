@@ -3,59 +3,11 @@
 //! Runs a DGEMM-like roofline kernel and a memory-bound SpMV on the
 //! cluster node and the booster node, reporting sustained performance and
 //! achieved energy efficiency from the power model.
-
-use deep_core::{fmt_f, Table};
-use deep_hw::{exec_time, EnergyMeter, KernelProfile, NodeModel};
+//!
+//! Logic lives in `deep_bench::experiments::f15_energy` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let nodes = [NodeModel::xeon_cluster_node(), NodeModel::xeon_phi_knc()];
-    let kernels: [(&str, KernelProfile); 2] = [
-        ("DGEMM n=4096", KernelProfile::dgemm(4096)),
-        ("SpMV nnz=5e8", KernelProfile::spmv(500_000_000)),
-    ];
-
-    let mut t = Table::new(
-        "F15",
-        "sustained performance and energy efficiency per node",
-        &[
-            "node",
-            "kernel",
-            "time",
-            "sustained [GF/s]",
-            "bound",
-            "achieved GF/W",
-            "peak GF/W",
-        ],
-    );
-    for node in &nodes {
-        for (name, k) in &kernels {
-            let pt = exec_time(node, k, node.cores);
-            let mut meter = EnergyMeter::new();
-            meter.record(&node.power, pt.time, 1.0);
-            let eff = meter.gflops_per_watt(k.flops);
-            t.row(&[
-                node.name.clone(),
-                (*name).into(),
-                format!("{}", pt.time),
-                fmt_f(pt.sustained_flops / 1e9),
-                if pt.memory_bound { "memory" } else { "compute" }.into(),
-                fmt_f(eff),
-                fmt_f(node.peak_gflops_per_watt()),
-            ]);
-        }
-    }
-    t.print();
-
-    let xeon = &nodes[0];
-    let knc = &nodes[1];
-    println!(
-        "peak efficiency: KNC {:.2} GF/W vs Xeon node {:.2} GF/W — factor\n\
-         {:.1}, reproducing the slide-15 \"5 GFlop/W\" claim (peak/TDP).\n\
-         Note the flip side the paper also acknowledges: on memory-bound or\n\
-         scalar code the booster's advantage shrinks or disappears, which is\n\
-         why only the *highly scalable, vectorisable* kernels move there.",
-        knc.peak_gflops_per_watt(),
-        xeon.peak_gflops_per_watt(),
-        knc.peak_gflops_per_watt() / xeon.peak_gflops_per_watt()
-    );
+    deep_bench::run_experiment_main("f15_energy");
 }

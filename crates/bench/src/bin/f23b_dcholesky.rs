@@ -5,36 +5,11 @@
 //! numerically exact over the simulated fabric, and the naive 1-D
 //! bulk-synchronous formulation saturates quickly — the reason OmpSs-style
 //! dependence-driven execution (F23) matters in the first place.
-
-use deep_apps::run_dcholesky_ideal;
-use deep_core::{fmt_f, Table};
+//!
+//! Logic lives in `deep_bench::experiments::f23b_dcholesky` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let (nt, ts) = (12usize, 64usize);
-    let mut t = Table::new(
-        "F23b",
-        "distributed Cholesky (12x12 tiles of 64x64): strong scaling",
-        &["ranks", "time [ms]", "speedup", "efficiency", "max |LLt-A|"],
-    );
-    let mut base = None;
-    for ranks in [1u32, 2, 3, 4, 6, 12] {
-        let (res, ns) = run_dcholesky_ideal(1, ranks, nt, ts);
-        let ms = ns as f64 / 1e6;
-        let b = *base.get_or_insert(ms);
-        t.row(&[
-            ranks.to_string(),
-            fmt_f(ms),
-            format!("{:.2}x", b / ms),
-            fmt_f(b / ms / ranks as f64),
-            format!("{:.1e}", res.max_error),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: the trailing update parallelises but every panel\n\
-         factorisation serialises at its owner, so the bulk-synchronous\n\
-         1-D formulation saturates around 2-3x regardless of rank count.\n\
-         Compare F23: dependence-driven execution of the same kernel keeps\n\
-         workers busy through the panel — the paper's case for OmpSs."
-    );
+    deep_bench::run_experiment_main("f23b_dcholesky");
 }

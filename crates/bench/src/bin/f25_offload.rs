@@ -5,98 +5,11 @@
 //! amortise latency and the per-invocation protocol; many small ones are
 //! latency-bound — quantifying "which data is to be copied before/after a
 //! booster code part" and the paper's preference for coarse kernels.
-
-use std::cell::Cell;
-use std::rc::Rc;
-
-use deep_core::{fmt_f, DeepConfig, DeepMachine, Table, BOOSTER_POOL, OFFLOAD_SERVER};
-use deep_hw::KernelProfile;
-use deep_ompss::{booster_block, OffloadSpec, Offloader};
-use deep_simkit::Simulation;
-
-/// Total work split into `k` offload invocations; returns elapsed seconds
-/// and bridge message count.
-fn granularity_run(k: u32) -> (f64, u64) {
-    let mut sim = Simulation::new(21);
-    let ctx = sim.handle();
-    let cfg = DeepConfig::small();
-    let n_booster = cfg.n_booster();
-    let machine = DeepMachine::build(&ctx, cfg);
-    let out = Rc::new(Cell::new(0.0f64));
-    let out2 = out.clone();
-    machine.launch_cluster_app("granularity", move |m| {
-        let out = out2.clone();
-        Box::pin(async move {
-            let world = m.world().clone();
-            let inter = m
-                .comm_spawn(&world, OFFLOAD_SERVER, n_booster, BOOSTER_POOL, 0)
-                .await
-                .unwrap();
-            let off = Offloader::new(inter);
-            let block = booster_block(m.rank(), m.size(), n_booster);
-
-            // Fixed totals per cluster rank, split across k invocations.
-            let total_flops = 5e10;
-            let total_bytes_in = 16u64 << 20;
-            let total_bytes_out = 16u64 << 20;
-            let t0 = m.sim().now();
-            for _ in 0..k {
-                let spec = OffloadSpec {
-                    in_bytes: total_bytes_in / k as u64,
-                    out_bytes: total_bytes_out / k as u64,
-                    kernel: KernelProfile {
-                        flops: total_flops / k as f64 / n_booster as f64,
-                        bytes: total_flops / k as f64 / n_booster as f64 / 4.0,
-                        compute_efficiency: 0.8,
-                        bandwidth_efficiency: 0.7,
-                    },
-                    cores: u32::MAX,
-                    iters: 1,
-                    internal_msg_bytes: 0,
-                };
-                off.run(&m, &spec, block.clone()).await;
-            }
-            let dt = (m.sim().now() - t0).as_secs_f64();
-            m.barrier(&world).await;
-            off.shutdown(&m, block).await;
-            if m.rank() == 0 {
-                out.set(dt);
-            }
-        })
-    });
-    sim.run().assert_completed();
-    (out.get(), machine.cbp().bridged_traffic().messages)
-}
+//!
+//! Logic lives in `deep_bench::experiments::f25_offload` so the
+//! `run_experiments` driver can run it in-process; this wrapper only
+//! prints the rendered buffer.
 
 fn main() {
-    let mut t = Table::new(
-        "F25",
-        "offload granularity: fixed work, K invocations (per cluster rank)",
-        &[
-            "invocations",
-            "bytes/invocation",
-            "elapsed [ms]",
-            "bridge msgs",
-            "slowdown vs coarsest",
-        ],
-    );
-    let mut baseline = None;
-    for k in [1u32, 4, 16, 64, 256, 1024, 4096] {
-        let (dt, msgs) = granularity_run(k);
-        let base = *baseline.get_or_insert(dt);
-        t.row(&[
-            k.to_string(),
-            deep_core::fmt_bytes((16 << 20) / k as u64),
-            fmt_f(dt * 1e3),
-            msgs.to_string(),
-            format!("{:.2}x", dt / base),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: elapsed time is roughly flat while invocations stay coarse\n\
-         (bandwidth-bound), then climbs as per-invocation latency and protocol\n\
-         overhead dominate — the quantitative case for offloading *complete*\n\
-         parallel kernels rather than inner loops (slides 8, 25)."
-    );
+    deep_bench::run_experiment_main("f25_offload");
 }

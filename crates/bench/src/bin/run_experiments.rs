@@ -1,0 +1,166 @@
+//! Drive the full experiment suite in one process.
+//!
+//! Replaces the EXPERIMENTS.md shell loop (which silently skipped
+//! binaries once): the registry in `deep_bench::experiments` is the
+//! single source of truth, experiments fan out across the rayon pool —
+//! each rendering into its own buffer, printed in registry order — and
+//! any panic fails the whole run with a non-zero exit.
+//!
+//! ```text
+//! run_experiments [--list] [--only a,b,c] [--json PATH] [--quiet]
+//! ```
+//!
+//! * `--list`  — print registry names and exit.
+//! * `--only`  — run a comma-separated subset (unknown names fail).
+//! * `--json`  — also write machine-readable suite timings.
+//! * `--quiet` — suppress experiment output, keep the timing table.
+//!
+//! Experiment *outputs* are deterministic at any `RAYON_NUM_THREADS`
+//! (see DESIGN.md on the parallel determinism model); the wall-clock
+//! table is measurement, not simulation, and varies run to run. A
+//! worker that finishes its experiment steals queued work from others,
+//! so per-experiment times under contention can exceed their solo
+//! cost — the suite total is the honest number.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use deep_bench::experiments::{self, Experiment};
+use deep_core::Table;
+use rayon::prelude::*;
+
+struct Outcome {
+    name: &'static str,
+    /// Rendered output, or the panic message.
+    result: Result<String, String>,
+    seconds: f64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one(e: &Experiment) -> Outcome {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = String::new();
+        (e.run)(&mut out);
+        out
+    }))
+    .map_err(panic_message);
+    Outcome {
+        name: e.name,
+        result,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: run_experiments [--list] [--only a,b,c] [--json PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut only: Option<Vec<String>> = None;
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for e in experiments::ALL {
+                    println!("{}", e.name);
+                }
+                return;
+            }
+            "--only" => {
+                let names = args.next().unwrap_or_else(|| usage());
+                only = Some(names.split(',').map(str::to_string).collect());
+            }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+
+    let selected: Vec<&Experiment> = match &only {
+        None => experiments::ALL.iter().collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                experiments::find(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment: {n} (see --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+
+    let threads = rayon::current_num_threads();
+    let t0 = Instant::now();
+    let outcomes: Vec<Outcome> = selected.par_iter().map(|e| run_one(e)).collect();
+    let suite_wall = t0.elapsed().as_secs_f64();
+
+    // Buffers print in registry order, regardless of completion order.
+    let mut failures = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(out) => {
+                if !quiet {
+                    print!("{out}");
+                }
+            }
+            Err(msg) => {
+                failures += 1;
+                println!("!! {} FAILED: {msg}\n", o.name);
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        "SUITE",
+        &format!("per-experiment wall clock ({threads} threads)"),
+        &["experiment", "seconds", "status"],
+    );
+    for o in &outcomes {
+        t.row(&[
+            o.name.to_string(),
+            format!("{:.3}", o.seconds),
+            if o.result.is_ok() { "ok" } else { "FAILED" }.to_string(),
+        ]);
+    }
+    t.row(&[
+        "TOTAL (suite wall)".to_string(),
+        format!("{suite_wall:.3}"),
+        format!("{}/{} ok", outcomes.len() - failures, outcomes.len()),
+    ]);
+    t.print();
+
+    if let Some(path) = json_path {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"threads\": {threads},");
+        let _ = writeln!(j, "  \"suite_wall_seconds\": {suite_wall:.6},");
+        let _ = writeln!(j, "  \"failures\": {failures},");
+        let _ = writeln!(j, "  \"experiments\": {{");
+        for (i, o) in outcomes.iter().enumerate() {
+            let comma = if i + 1 < outcomes.len() { "," } else { "" };
+            let _ = writeln!(j, "    \"{}\": {:.6}{comma}", o.name, o.seconds);
+        }
+        let _ = writeln!(j, "  }}");
+        j.push_str("}\n");
+        std::fs::write(&path, &j).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

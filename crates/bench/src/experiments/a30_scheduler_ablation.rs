@@ -1,0 +1,112 @@
+//! A30 (ablation) — ready-queue policy of the OmpSs runtime: FIFO vs
+//! critical-path-first list scheduling, on the tiled Cholesky and on an
+//! adversarial chain-plus-swarm DAG.
+
+use std::fmt::Write as _;
+
+use deep_apps::cholesky::{cholesky_graph, spd_matrix, TiledMatrix};
+use deep_core::{fmt_f, Table};
+use deep_hw::NodeModel;
+use deep_ompss::{run_dataflow_policy, Access, RegionId, SchedPolicy, TaskCost, TaskGraph};
+use deep_simkit::{SimDuration, Simulation};
+
+fn run_case(graph: TaskGraph, workers: u32, policy: SchedPolicy) -> (f64, f64) {
+    let node = NodeModel::xeon_phi_knc();
+    let mut sim = Simulation::new(1);
+    let ctx = sim.handle();
+    let h = sim.spawn("run", async move {
+        run_dataflow_policy(&ctx, graph, &node, workers, policy).await
+    });
+    sim.run().assert_completed();
+    let r = h.try_result().unwrap();
+    (r.makespan.as_secs_f64(), r.critical_path.as_secs_f64())
+}
+
+fn cholesky(nt: usize) -> TaskGraph {
+    let ts = 16;
+    let a = spd_matrix(nt * ts);
+    let m = TiledMatrix::from_dense(&a, nt, ts);
+    cholesky_graph(&m)
+}
+
+fn chain_plus_swarm() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for step in 0..12u64 {
+        for i in 0..16u64 {
+            g.add_task(
+                "short",
+                &[(RegionId(1000 + step * 32 + i), Access::InOut)],
+                TaskCost::Fixed(SimDuration::micros(40)),
+                0,
+                None,
+            );
+        }
+        g.add_task(
+            "chain",
+            &[(RegionId(0), Access::InOut)],
+            TaskCost::Fixed(SimDuration::micros(120)),
+            0,
+            None,
+        );
+    }
+    g
+}
+
+pub fn run(out: &mut String) {
+    let mut t = Table::new(
+        "A30",
+        "dataflow ready-queue policy ablation (makespan, µs)",
+        &[
+            "workload",
+            "workers",
+            "FIFO",
+            "CP-first",
+            "CP-first wins",
+            "cp bound",
+        ],
+    );
+    // Copy-able case descriptors (graphs are built inside the worker
+    // closure) so the cases fan out across the pool; each case also
+    // joins its two policy runs. Rows come back in case order.
+    #[derive(Clone, Copy)]
+    enum Workload {
+        Cholesky(usize),
+        ChainSwarm,
+    }
+    let build = |w: Workload| match w {
+        Workload::Cholesky(nt) => cholesky(nt),
+        Workload::ChainSwarm => chain_plus_swarm(),
+    };
+    let cases: [(&str, Workload, u32); 5] = [
+        ("cholesky 12x12", Workload::Cholesky(12), 16),
+        ("cholesky 12x12", Workload::Cholesky(12), 60),
+        ("cholesky 16x16", Workload::Cholesky(16), 60),
+        ("chain+swarm", Workload::ChainSwarm, 4),
+        ("chain+swarm", Workload::ChainSwarm, 8),
+    ];
+    let rows = crate::sweep::par_sweep(&cases, |_, &(name, wl, workers)| {
+        let ((fifo, cp_bound), (cpf, _)) = rayon::join(
+            || run_case(build(wl), workers, SchedPolicy::Fifo),
+            || run_case(build(wl), workers, SchedPolicy::CriticalPathFirst),
+        );
+        [
+            name.into(),
+            workers.to_string(),
+            fmt_f(fifo * 1e6),
+            fmt_f(cpf * 1e6),
+            format!("{:.2}x", fifo / cpf),
+            fmt_f(cp_bound * 1e6),
+        ]
+    });
+    for row in &rows {
+        t.row(row);
+    }
+    t.write_into(out);
+    let _ = writeln!(
+        out,
+        "shape: priority scheduling matters when wide cheap parallelism can\n\
+         starve the critical chain (chain+swarm); on Cholesky the dependence\n\
+         structure already orders the panel factorisations, so the gain is\n\
+         small — evidence for the paper's choice of a simple runtime."
+    );
+}

@@ -1,0 +1,78 @@
+//! ER03 — cross-validating the discrete-event resilience run against the
+//! analytic Monte-Carlo model across a node-MTBF sweep.
+//!
+//! Each sweep point runs the multi-level checkpoint scenario twice per
+//! replica from the *same* RNG stream: once as a discrete-event job on
+//! the simulated DEEP machine (every checkpoint and restore is real
+//! NVM/torus/PFS I/O, failures strike wherever virtual time finds the
+//! job) and once through `simulate_multilevel`, the closed-form model
+//! with fixed per-level costs. If the DES efficiency tracks the model at
+//! every MTBF point, the cheap analytic model can be trusted for the
+//! large design-space sweeps — and the DES fault machinery is pinned to
+//! an independent implementation of the same physics.
+
+use std::fmt::Write as _;
+
+use deep_core::{fmt_f, Table};
+use deep_faults::{er03_params, fault_sweep};
+
+pub fn run(out: &mut String) {
+    let (config, ranks, bytes_per_rank, base) = er03_params();
+    // From "a failure every few minutes" to "failures are rare at this
+    // job scale" (system MTBF = node MTBF / 8).
+    let mtbfs = [100.0, 250.0, 600.0, 2000.0];
+    let replicas = 10;
+    let seed = 9;
+
+    let points = fault_sweep(
+        &config,
+        ranks,
+        bytes_per_rank,
+        &base,
+        &mtbfs,
+        seed,
+        replicas,
+    );
+
+    let mut t = Table::new(
+        "ER03",
+        "DES vs analytic multi-level resilience, swept over node MTBF",
+        &[
+            "node MTBF [s]",
+            "system MTBF [s]",
+            "DES eff",
+            "MC eff",
+            "gap",
+            "DES trunc",
+            "MC trunc",
+        ],
+    );
+    let mut worst_gap = 0.0f64;
+    for pt in &points {
+        let gap = (pt.des.efficiency - pt.mc.efficiency).abs();
+        worst_gap = worst_gap.max(gap);
+        t.row(&[
+            fmt_f(pt.mtbf_node_s),
+            fmt_f(pt.mtbf_node_s / ranks as f64),
+            fmt_f(pt.des.efficiency),
+            fmt_f(pt.mc.efficiency),
+            fmt_f(gap),
+            pt.des.truncated_runs.to_string(),
+            pt.mc.truncated_runs.to_string(),
+        ]);
+    }
+    t.write_into(out);
+
+    let _ = writeln!(
+        out,
+        "shape: both curves climb monotonically with node MTBF — frequent\n\
+         failures burn wall time in restarts and lost segments, rare ones\n\
+         leave only the checkpoint overhead — and the discrete-event run\n\
+         stays within {} of the analytic model at every point (paired RNG\n\
+         streams: same failure times, same severities). The residual gap\n\
+         is the model's fixed per-level cost versus the machine's\n\
+         state-dependent I/O timing. Agreement across the sweep is the\n\
+         ER03 acceptance criterion, asserted in tests/experiment_shapes.rs.",
+        fmt_f(worst_gap)
+    );
+}

@@ -1,0 +1,74 @@
+//! F14 — slides 11–14: the DEEP prototype system, quantitatively.
+//!
+//! Prints the machine inventory of the configured prototype — node
+//! counts, fabric shapes, aggregate peaks and power — the numbers behind
+//! the architecture diagram.
+
+use std::fmt::Write as _;
+
+use deep_core::{fmt_f, DeepConfig, Table};
+
+pub fn run(out: &mut String) {
+    let mut t = Table::new(
+        "F14",
+        "DEEP machine inventory",
+        &[
+            "configuration",
+            "CN",
+            "BN (torus)",
+            "BIs",
+            "peak [TF]",
+            "booster share",
+            "power [kW]",
+            "GF/W",
+        ],
+    );
+    for cfg in [
+        DeepConfig::small(),
+        DeepConfig::medium(),
+        DeepConfig::prototype(),
+    ] {
+        let peak_tf = cfg.peak_flops() / 1e12;
+        let booster_share =
+            cfg.n_booster() as f64 * cfg.booster_node.peak_flops() / cfg.peak_flops();
+        let kw = cfg.peak_power_w() / 1e3;
+        let name = match cfg.n_cluster {
+            4 => "small (tests)",
+            16 => "medium (benches)",
+            _ => "DEEP prototype",
+        };
+        t.row(&[
+            name.into(),
+            cfg.n_cluster.to_string(),
+            format!(
+                "{} ({}x{}x{})",
+                cfg.n_booster(),
+                cfg.booster_dims.0,
+                cfg.booster_dims.1,
+                cfg.booster_dims.2
+            ),
+            cfg.n_bi.to_string(),
+            fmt_f(peak_tf),
+            format!("{:.0}%", booster_share * 100.0),
+            fmt_f(kw),
+            fmt_f(cfg.peak_flops() / 1e9 / cfg.peak_power_w()),
+        ]);
+    }
+    t.write_into(out);
+
+    let proto = DeepConfig::prototype();
+    let _ = writeln!(
+        out,
+        "the prototype: {} Xeon cluster nodes on an FDR fat tree + a {}-node\n\
+         KNC booster on an 8x8x8 EXTOLL torus bridged by {} BIs — ~{:.0} TF\n\
+         peak at ~{:.0} kW, with {:.0}% of the flops in the booster. That\n\
+         asymmetry is the architecture: the cluster orchestrates, the\n\
+         booster computes.",
+        proto.n_cluster,
+        proto.n_booster(),
+        proto.n_bi,
+        proto.peak_flops() / 1e12,
+        proto.peak_power_w() / 1e3,
+        proto.n_booster() as f64 * proto.booster_node.peak_flops() / proto.peak_flops() * 100.0
+    );
+}

@@ -1,0 +1,114 @@
+//! F22 — slide 21 (resource management): static vs dynamic booster
+//! assignment, plus EASY backfill, on synthetic heterogeneous job mixes.
+
+use std::fmt::Write as _;
+
+use deep_apps::{generate_mix, MixParams};
+use deep_core::{fmt_f, Table};
+use deep_resmgr::{run_workload, Policy, WorkloadReport};
+use rayon::prelude::*;
+
+pub fn run(out: &mut String) {
+    // A contended machine: plenty of cluster nodes, scarce boosters —
+    // the regime where assignment policy matters.
+    let machine = (12u32, 16u32); // 12 CN, 16 BN
+    let mix_params = MixParams {
+        n_jobs: 32,
+        mean_interarrival: deep_simkit::SimDuration::secs(8),
+        max_cn: 8,
+        max_bn: 12,
+        mean_cn_time: deep_simkit::SimDuration::secs(50),
+        mean_bn_time: deep_simkit::SimDuration::secs(50),
+        max_phases: 3,
+        pure_cluster_fraction: 0.2,
+    };
+    let mut t = Table::new(
+        "F22",
+        "booster assignment policy on heterogeneous job mixes (12 CN / 16 BN)",
+        &[
+            "mix seed",
+            "policy",
+            "makespan [s]",
+            "BN active util",
+            "BN allocated",
+            "mean wait [s]",
+            "mean BN wait [s]",
+        ],
+    );
+
+    // Every (seed, policy) replica is an independent deterministic
+    // simulation: farm them out across host cores with rayon.
+    let cases: Vec<(u64, Policy)> = [1u64, 2, 3]
+        .into_iter()
+        .flat_map(|seed| {
+            [
+                Policy::StaticFcfs,
+                Policy::DynamicFcfs,
+                Policy::DynamicBackfill,
+            ]
+            .into_iter()
+            .map(move |p| (seed, p))
+        })
+        .collect();
+    let reports: Vec<((u64, Policy), WorkloadReport)> = cases
+        .par_iter()
+        .map(|&(seed, policy)| {
+            let mix = generate_mix(seed, mix_params);
+            (
+                (seed, policy),
+                run_workload(seed, machine.0, machine.1, policy, mix),
+            )
+        })
+        .collect();
+
+    let mut speedups = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut static_makespan = 0.0;
+        for policy in [
+            Policy::StaticFcfs,
+            Policy::DynamicFcfs,
+            Policy::DynamicBackfill,
+        ] {
+            let rep = &reports
+                .iter()
+                .find(|((s, p), _)| *s == seed && *p == policy)
+                .expect("replica computed")
+                .1;
+            let n = rep.jobs.len() as f64;
+            let mean_wait: f64 = rep.jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / n;
+            let mean_bn_wait: f64 = rep
+                .jobs
+                .iter()
+                .map(|j| j.bn_wait.as_secs_f64())
+                .sum::<f64>()
+                / n;
+            let makespan = rep.makespan.as_secs_f64();
+            if policy == Policy::StaticFcfs {
+                static_makespan = makespan;
+            } else if policy == Policy::DynamicFcfs {
+                speedups.push(static_makespan / makespan);
+            }
+            t.row(&[
+                seed.to_string(),
+                format!("{policy:?}"),
+                fmt_f(makespan),
+                fmt_f(rep.bn_utilization),
+                fmt_f(rep.bn_allocated),
+                fmt_f(mean_wait),
+                fmt_f(mean_bn_wait),
+            ]);
+        }
+    }
+    t.write_into(out);
+
+    let avg: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let _ = writeln!(
+        out,
+        "shape: dynamic assignment shortens the makespan by ~{:.0}% on average\n\
+         and raises *useful* booster utilisation, while static assignment\n\
+         shows the accelerated-cluster pathology — near-total allocation with\n\
+         idle accelerators (slide 6: \"static assignment of accelerators to\n\
+         CPUs\"). Backfill further trims queue waits.",
+        (avg - 1.0) * 100.0
+    );
+}

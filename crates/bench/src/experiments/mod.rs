@@ -1,0 +1,212 @@
+//! Experiment registry: every figure-regeneration experiment as a
+//! library function rendering into a caller-owned buffer.
+//!
+//! Each module holds the logic that used to live in the matching
+//! `src/bin/` binary; the binary is now a thin wrapper over
+//! [`run_to_string`]. Rendering into a `String` (instead of straight to
+//! stdout) is what lets the `run_experiments` driver execute many
+//! experiments concurrently without interleaving their output — each
+//! run owns its buffer, and the driver prints buffers in registry
+//! order.
+//!
+//! [`ALL`] is the single source of truth for "every experiment": the
+//! driver iterates it, and a test checks it stays in sync with the
+//! binaries on disk.
+
+pub mod a30_scheduler_ablation;
+pub mod a31_bi_selection;
+pub mod a32_eager_threshold;
+pub mod a33_allreduce_algorithms;
+pub mod er01_checkpoint_levels;
+pub mod er02_io_patterns;
+pub mod er03_fault_sweep;
+pub mod f02_evolution;
+pub mod f03_exascale;
+pub mod f03b_resilience;
+pub mod f05_rationale;
+pub mod f06_accel_cluster;
+pub mod f08_direct_fabric;
+pub mod f09_scalability;
+pub mod f09b_fft;
+pub mod f10_cluster_booster;
+pub mod f14_architecture;
+pub mod f15_energy;
+pub mod f16_extoll;
+pub mod f18_positioning;
+pub mod f21_spawn;
+pub mod f22_resmgr;
+pub mod f23_cholesky;
+pub mod f23b_dcholesky;
+pub mod f25_offload;
+pub mod f29_global_mpi;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Binary / module name (e.g. `"er03_fault_sweep"`).
+    pub name: &'static str,
+    /// Render the experiment's full stdout into `out`.
+    pub run: fn(&mut String),
+}
+
+/// Every experiment, in registry (= alphabetical = docs) order.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        name: "a30_scheduler_ablation",
+        run: a30_scheduler_ablation::run,
+    },
+    Experiment {
+        name: "a31_bi_selection",
+        run: a31_bi_selection::run,
+    },
+    Experiment {
+        name: "a32_eager_threshold",
+        run: a32_eager_threshold::run,
+    },
+    Experiment {
+        name: "a33_allreduce_algorithms",
+        run: a33_allreduce_algorithms::run,
+    },
+    Experiment {
+        name: "er01_checkpoint_levels",
+        run: er01_checkpoint_levels::run,
+    },
+    Experiment {
+        name: "er02_io_patterns",
+        run: er02_io_patterns::run,
+    },
+    Experiment {
+        name: "er03_fault_sweep",
+        run: er03_fault_sweep::run,
+    },
+    Experiment {
+        name: "f02_evolution",
+        run: f02_evolution::run,
+    },
+    Experiment {
+        name: "f03_exascale",
+        run: f03_exascale::run,
+    },
+    Experiment {
+        name: "f03b_resilience",
+        run: f03b_resilience::run,
+    },
+    Experiment {
+        name: "f05_rationale",
+        run: f05_rationale::run,
+    },
+    Experiment {
+        name: "f06_accel_cluster",
+        run: f06_accel_cluster::run,
+    },
+    Experiment {
+        name: "f08_direct_fabric",
+        run: f08_direct_fabric::run,
+    },
+    Experiment {
+        name: "f09_scalability",
+        run: f09_scalability::run,
+    },
+    Experiment {
+        name: "f09b_fft",
+        run: f09b_fft::run,
+    },
+    Experiment {
+        name: "f10_cluster_booster",
+        run: f10_cluster_booster::run,
+    },
+    Experiment {
+        name: "f14_architecture",
+        run: f14_architecture::run,
+    },
+    Experiment {
+        name: "f15_energy",
+        run: f15_energy::run,
+    },
+    Experiment {
+        name: "f16_extoll",
+        run: f16_extoll::run,
+    },
+    Experiment {
+        name: "f18_positioning",
+        run: f18_positioning::run,
+    },
+    Experiment {
+        name: "f21_spawn",
+        run: f21_spawn::run,
+    },
+    Experiment {
+        name: "f22_resmgr",
+        run: f22_resmgr::run,
+    },
+    Experiment {
+        name: "f23_cholesky",
+        run: f23_cholesky::run,
+    },
+    Experiment {
+        name: "f23b_dcholesky",
+        run: f23b_dcholesky::run,
+    },
+    Experiment {
+        name: "f25_offload",
+        run: f25_offload::run,
+    },
+    Experiment {
+        name: "f29_global_mpi",
+        run: f29_global_mpi::run,
+    },
+];
+
+/// Look up an experiment by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name == name)
+}
+
+/// Run one experiment to a fresh buffer; `None` for unknown names.
+pub fn run_to_string(name: &str) -> Option<String> {
+    let e = find(name)?;
+    let mut out = String::new();
+    (e.run)(&mut out);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and the binaries on disk must agree, so
+    /// `run_experiments` cannot silently skip an experiment the way the
+    /// old shell loop did.
+    #[test]
+    fn registry_matches_binaries_on_disk() {
+        let bin_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin");
+        let mut on_disk: Vec<String> = std::fs::read_dir(bin_dir)
+            .expect("src/bin exists")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter_map(|f| f.strip_suffix(".rs").map(str::to_string))
+            // Drivers and report tooling, not experiments.
+            .filter(|n| n != "bench_report" && n != "run_experiments")
+            .collect();
+        on_disk.sort();
+        let registered: Vec<&str> = ALL.iter().map(|e| e.name).collect();
+        assert_eq!(registered, on_disk, "registry out of sync with src/bin");
+    }
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in ALL.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_to_string("no_such_experiment").is_none());
+    }
+
+    /// Smoke: a cheap experiment renders a table into its buffer.
+    #[test]
+    fn f02_renders_its_table() {
+        let out = run_to_string("f02_evolution").unwrap();
+        assert!(out.contains("### F02"), "missing table header:\n{out}");
+    }
+}

@@ -7,6 +7,9 @@
 //! number is virtual time out of the deterministic simulator, so reruns
 //! reproduce the tables bit-for-bit.
 
+pub mod experiments;
+pub mod sweep;
+
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -152,6 +155,15 @@ pub fn run_ib_ranks(
     });
     sim.run().assert_completed();
     (out.get(), sim.now().as_secs_f64())
+}
+
+/// Entry point for the thin experiment binaries: run the named
+/// experiment and print its buffer. Panics (→ non-zero exit) on an
+/// unknown name, which the registry test makes unreachable.
+pub fn run_experiment_main(name: &str) {
+    let out = experiments::run_to_string(name)
+        .unwrap_or_else(|| panic!("experiment {name} is not in the registry"));
+    print!("{out}");
 }
 
 /// Pretty size label.

@@ -70,6 +70,15 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.to_markdown());
     }
+
+    /// Append exactly what [`Table::print`] would write to stdout
+    /// (Markdown plus the trailing newline) to a string buffer, so
+    /// experiments can render into per-run buffers when driven in
+    /// parallel.
+    pub fn write_into(&self, out: &mut String) {
+        out.push_str(&self.to_markdown());
+        out.push('\n');
+    }
 }
 
 /// Format a float with engineering-style precision.
@@ -127,6 +136,15 @@ mod tests {
         let j = t.to_json();
         assert!(j.contains("\"F01\""));
         assert!(j.contains("\"42\""));
+    }
+
+    #[test]
+    fn write_into_matches_print_bytes() {
+        let mut t = Table::new("F02", "w", &["a"]);
+        t.row(&["7".into()]);
+        let mut buf = String::new();
+        t.write_into(&mut buf);
+        assert_eq!(buf, format!("{}\n", t.to_markdown()));
     }
 
     #[test]

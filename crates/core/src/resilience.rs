@@ -19,6 +19,7 @@
 
 use deep_io::{CkptLevel, CommitLog, FailureSeverity};
 use deep_simkit::SimRng;
+use rayon::prelude::*;
 
 /// Parameters of one resilience scenario.
 #[derive(Debug, Clone, Copy)]
@@ -136,11 +137,26 @@ pub fn mean_efficiency(
     seed: u64,
     replicas: u32,
 ) -> MeanEfficiency {
+    // Each replica draws from its own index-derived RNG stream, so the
+    // draws are independent of execution order. The parallel collect
+    // fills index-ordered slots and the fold below runs sequentially
+    // after the barrier — the mean is bit-identical to the serial loop
+    // at any thread count.
+    let outcomes: Vec<ResilienceOutcome> = (0..replicas)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng = SimRng::from_seed_stream(seed, 0xC4E0 + r as u64);
+            simulate_run(p, interval_s, &mut rng)
+        })
+        .collect();
+    reduce_outcomes(&outcomes, replicas)
+}
+
+/// Fold per-replica outcomes into a mean, in replica-index order.
+fn reduce_outcomes(outcomes: &[ResilienceOutcome], replicas: u32) -> MeanEfficiency {
     let mut total = 0.0;
     let mut truncated_runs = 0;
-    for r in 0..replicas {
-        let mut rng = SimRng::from_seed_stream(seed, 0xC4E0 + r as u64);
-        let out = simulate_run(p, interval_s, &mut rng);
+    for out in outcomes {
         total += out.efficiency;
         truncated_runs += u32::from(out.truncated);
     }
@@ -312,18 +328,17 @@ pub fn mean_multilevel_efficiency(
     seed: u64,
     replicas: u32,
 ) -> MeanEfficiency {
-    let mut total = 0.0;
-    let mut truncated_runs = 0;
-    for r in 0..replicas {
-        let mut rng = SimRng::from_seed_stream(seed, 0xE401 + r as u64);
-        let out = simulate_multilevel(p, &mut rng);
-        total += out.efficiency;
-        truncated_runs += u32::from(out.truncated);
-    }
-    MeanEfficiency {
-        efficiency: total / replicas as f64,
-        truncated_runs,
-    }
+    // Same construction as [`mean_efficiency`]: per-replica streams
+    // (0xE401 + r — the DES replica in `deep-faults` pairs with these
+    // draw-for-draw), ordered collect, reduce after the barrier.
+    let outcomes: Vec<ResilienceOutcome> = (0..replicas)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng = SimRng::from_seed_stream(seed, 0xE401 + r as u64);
+            simulate_multilevel(p, &mut rng)
+        })
+        .collect();
+    reduce_outcomes(&outcomes, replicas)
 }
 
 #[cfg(test)]

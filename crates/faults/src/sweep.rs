@@ -20,6 +20,7 @@ use deep_core::{
     MeanEfficiency, MultiLevelParams, ResilienceOutcome,
 };
 use deep_simkit::{Either, SimDuration, SimRng, Simulation};
+use rayon::prelude::*;
 
 /// One DES replica of the multi-level scenario. Deterministic in
 /// `(config, ranks, bytes_per_rank, p, seed, stream)`; pair it with the
@@ -127,10 +128,17 @@ pub fn des_mean_multilevel_efficiency(
     seed: u64,
     replicas: u32,
 ) -> MeanEfficiency {
+    // Replicas are independent simulations on index-derived streams, so
+    // they fan out across the pool; the ordered collect plus the
+    // sequential fold below keep the mean bit-identical to the serial
+    // loop at any thread count.
+    let outcomes: Vec<ResilienceOutcome> = (0..replicas)
+        .into_par_iter()
+        .map(|r| des_multilevel_run(config, ranks, bytes_per_rank, p, seed, 0xE401 + r as u64))
+        .collect();
     let mut total = 0.0;
     let mut truncated_runs = 0;
-    for r in 0..replicas {
-        let out = des_multilevel_run(config, ranks, bytes_per_rank, p, seed, 0xE401 + r as u64);
+    for out in &outcomes {
         total += out.efficiency;
         truncated_runs += u32::from(out.truncated);
     }
@@ -166,8 +174,11 @@ pub fn fault_sweep(
     replicas: u32,
 ) -> Vec<SweepPoint> {
     let costs = measure_level_costs(config, ranks, bytes_per_rank, seed);
+    // Sweep points are independent; par_iter keeps them in index order.
+    // Nested parallelism (replicas inside each point) is handled by the
+    // pool's work stealing.
     mtbfs_node_s
-        .iter()
+        .par_iter()
         .map(|&mtbf_node_s| {
             let mut p = *base;
             p.levels = costs;

@@ -7,6 +7,10 @@
 # writes the headline events/s / transfers/s / collectives/s / tasks/s
 # report with the recorded pre-optimisation baseline and speedup.
 #
+# The sweep suite (1-thread vs machine-width pool) and two timed
+# run_experiments passes record the parallel-harness trajectory:
+# sweep_runs_per_sec and suite_wall_seconds at 1 and N threads.
+#
 # Usage: scripts/bench.sh [reps]        (e.g. `scripts/bench.sh 5`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,10 +23,18 @@ rm -f "$JSONL"
 
 for i in $(seq 1 "$REPS"); do
     echo "==> bench round $i/$REPS"
-    for suite in engine fabric collectives cholesky; do
+    for suite in engine fabric collectives cholesky sweep; do
         CRITERION_JSON="$JSONL" cargo bench -q -p deep-bench --bench "$suite"
     done
 done
 
+echo "==> experiment suite wall clock (1 thread, then machine width)"
+cargo build -q --release -p deep-bench --bin run_experiments
+RAYON_NUM_THREADS=1 ./target/release/run_experiments --quiet \
+    --json target/suite_1thread.json
+./target/release/run_experiments --quiet \
+    --json target/suite_nthreads.json
+
 echo "==> bench_report"
-cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json
+cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json \
+    target/suite_1thread.json target/suite_nthreads.json

@@ -1,0 +1,426 @@
+//! Parallel iterators over indexed sources (slices, vectors, integer
+//! ranges, chunked slices).
+//!
+//! Everything here is **deterministic by construction**: a source of
+//! known length is split recursively at fixed midpoints (the split tree
+//! depends only on the length and the split threshold, never on thread
+//! timing), leaves write their items into *index-ordered* slots, and
+//! ordered terminal operations (`collect`, `sum`, `reduce`) fold those
+//! slots sequentially after the parallel phase — so the result is
+//! bit-identical to the sequential iterator for any thread count,
+//! including one. The only thing parallelism changes is wall-clock time.
+//!
+//! The split threshold adapts to the enclosing pool: a drive splits
+//! until pieces are ≲ len / (4 × threads), giving the scheduler ~4
+//! stealable pieces per worker for load balancing without drowning
+//! coarse task bodies in bookkeeping.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::{current_num_threads, join};
+
+/// A parallel iterator over an indexed source.
+///
+/// Unlike the real rayon's unindexed hierarchy, every iterator in this
+/// shim knows its length and splits at explicit midpoints; this is what
+/// makes the determinism argument above hold for every combinator.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Remaining item count.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Produce every item sequentially, in index order.
+    fn drive_seq(self, each: &mut dyn FnMut(Self::Item));
+
+    /// Map each item through `f` (applied in parallel).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Run `f` on every item, in parallel. No ordering is observable
+    /// (there is no result), so `f` must be safe to call concurrently.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let threshold = split_threshold(self.len());
+        drive_for_each(self, &f, threshold);
+    }
+
+    /// Collect into a container, preserving index order exactly.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items. Items are produced in parallel, then folded in
+    /// index order after the barrier — identical to `.iter().sum()`
+    /// even for floating point.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        collect_vec(self).into_iter().sum()
+    }
+
+    /// Reduce with `op` against `identity()`. Folded in index order
+    /// after the parallel phase (see [`ParallelIterator::sum`]).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        collect_vec(self).into_iter().fold(identity(), op)
+    }
+}
+
+/// Piece size below which a drive stops splitting.
+fn split_threshold(len: usize) -> usize {
+    (len / (4 * current_num_threads()).max(1)).max(1)
+}
+
+/// Recursive fork-join drive writing items into index-ordered slots.
+fn drive_fill<P: ParallelIterator>(p: P, out: &mut [Option<P::Item>], threshold: usize) {
+    let n = p.len();
+    debug_assert_eq!(n, out.len());
+    if n <= threshold {
+        let mut slot = out.iter_mut();
+        p.drive_seq(&mut |item| {
+            *slot.next().expect("producer yielded more than len() items") = Some(item);
+        });
+        return;
+    }
+    let mid = n / 2;
+    let (left, right) = p.split_at(mid);
+    let (out_left, out_right) = out.split_at_mut(mid);
+    join(
+        || drive_fill(left, out_left, threshold),
+        || drive_fill(right, out_right, threshold),
+    );
+}
+
+/// Recursive fork-join drive with no output.
+fn drive_for_each<P, F>(p: P, f: &F, threshold: usize)
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) + Sync,
+{
+    let n = p.len();
+    if n <= threshold {
+        p.drive_seq(&mut |item| f(item));
+        return;
+    }
+    let mid = n / 2;
+    let (left, right) = p.split_at(mid);
+    join(
+        || drive_for_each(left, f, threshold),
+        || drive_for_each(right, f, threshold),
+    );
+}
+
+/// Drive to an index-ordered `Vec`.
+fn collect_vec<P: ParallelIterator>(p: P) -> Vec<P::Item> {
+    let n = p.len();
+    let mut slots: Vec<Option<P::Item>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let threshold = split_threshold(n);
+    drive_fill(p, &mut slots, threshold);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Containers a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container from the iterator's items, in index order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        collect_vec(iter)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators.
+
+/// Parallel iterator returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Map {
+                base: left,
+                f: self.f.clone(),
+            },
+            Map {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive_seq(self, each: &mut dyn FnMut(R)) {
+        let f = self.f;
+        self.base.drive_seq(&mut |item| each(f(item)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources.
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (SliceIter { slice: left }, SliceIter { slice: right })
+    }
+
+    fn drive_seq(self, each: &mut dyn FnMut(&'a T)) {
+        for item in self.slice {
+            each(item);
+        }
+    }
+}
+
+/// Parallel iterator over non-overlapping chunks of a slice
+/// ([`ParallelSlice::par_chunks`]).
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elements = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(elements);
+        (
+            ChunksIter {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            ChunksIter {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn drive_seq(self, each: &mut dyn FnMut(&'a [T])) {
+        for chunk in self.slice.chunks(self.chunk_size) {
+            each(chunk);
+        }
+    }
+}
+
+/// Parallel iterator that owns a `Vec` ([`IntoParallelIterator`]).
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, VecIter { vec: right })
+    }
+
+    fn drive_seq(self, each: &mut dyn FnMut(T)) {
+        for item in self.vec {
+            each(item);
+        }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),+) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                if self.range.start >= self.range.end {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn drive_seq(self, each: &mut dyn FnMut($t)) {
+                for i in self.range {
+                    each(i);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )+};
+}
+
+range_par_iter!(u32, u64, usize, i32, i64);
+
+// ---------------------------------------------------------------------
+// Entry traits.
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter()` on shared references (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Send + 'a;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel-iterate over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Slice extensions (rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel-iterate over non-overlapping chunks of `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ChunksIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}

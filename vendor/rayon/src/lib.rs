@@ -1,53 +1,193 @@
-//! Offline shim of the [rayon](https://crates.io/crates/rayon) API surface
-//! used by this workspace.
+//! Offline implementation of the [rayon](https://crates.io/crates/rayon)
+//! API surface used by this workspace — a **real work-stealing thread
+//! pool**, not a sequential stub.
 //!
-//! The build environment has no registry access, so `par_iter()` here is a
-//! sequential iterator with the same method chain. Call sites keep their
-//! parallel shape (`use rayon::prelude::*; xs.par_iter().map(..).collect()`)
-//! and regain real parallelism the moment the genuine crate is swapped
-//! back in; results are identical either way because callers must not
-//! depend on execution order.
+//! The build environment has no registry access, so this crate provides,
+//! in plain `std`, the subset of rayon the workspace exercises:
+//!
+//! * [`join`] — fork-join with stealing, the scheduling primitive;
+//! * [`scope`] / [`Scope::spawn`] — structured tasks borrowing from the
+//!   enclosing frame;
+//! * parallel iterators ([`prelude`]) — `par_iter`, `into_par_iter`,
+//!   `par_chunks`, with splitting adapted to the pool width and
+//!   **index-ordered, reduce-after-barrier** terminal operations, so
+//!   results are bit-identical to sequential iteration at any thread
+//!   count (see `iter.rs` for the determinism argument);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] and the lazily
+//!   created global pool sized by `RAYON_NUM_THREADS`;
+//! * panic propagation: a panicking task poisons only its own result —
+//!   rethrown from the owning `join`/`scope`/`install` — and the pool
+//!   survives.
+//!
+//! Scheduling internals live in `pool.rs`, iterators in `iter.rs`.
+//! Callers must not depend on execution order, only on results — which
+//! is exactly what the ordered terminal operations guarantee.
 
-/// Sequential stand-ins for rayon's parallel iterator traits.
+mod iter;
+mod pool;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// The traits needed to call `par_iter()` and friends.
 pub mod prelude {
-    /// `par_iter()` for shared references — sequential in the shim.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Element reference type.
-        type Item: 'a;
-        /// Iterator type returned by [`par_iter`](Self::par_iter).
-        type Iter: Iterator<Item = Self::Item>;
-
-        /// Iterate (sequentially in the shim) over `&self`.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_matches_iter() {
         let xs = vec![1u32, 2, 3, 4];
         let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_runs_in_parallel_on_a_multiworker_pool() {
+        // Two tasks that each block until the other has started can
+        // only finish if they genuinely overlap.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let started = AtomicUsize::new(0);
+        let rendezvous = |started: &AtomicUsize| {
+            started.fetch_add(1, Ordering::SeqCst);
+            let t0 = Instant::now();
+            while started.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(10),
+                    "join arms never overlapped"
+                );
+                std::thread::yield_now();
+            }
+        };
+        pool.install(|| join(|| rendezvous(&started), || rendezvous(&started)));
+    }
+
+    #[test]
+    fn nested_join_computes_tree_sum() {
+        fn tree_sum(xs: &[u64]) -> u64 {
+            if xs.len() <= 2 {
+                return xs.iter().sum();
+            }
+            let (l, r) = xs.split_at(xs.len() / 2);
+            let (a, b) = join(|| tree_sum(l), || tree_sum(r));
+            a + b
+        }
+        let xs: Vec<u64> = (0..1000).collect();
+        assert_eq!(tree_sum(&xs), 499_500);
+    }
+
+    #[test]
+    fn scope_spawns_complete_before_scope_returns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 128);
+    }
+
+    #[test]
+    fn join_propagates_panic_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            join(|| 1, || -> u32 { panic!("boom in b") });
+        });
+        assert!(result.is_err());
+        // The pool is still fully functional afterwards.
+        let (a, b) = join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn first_closure_panic_takes_precedence() {
+        let result = std::panic::catch_unwind(|| {
+            join(
+                || -> u32 { panic!("panic a") },
+                || -> u32 { panic!("panic b") },
+            );
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "panic a");
+    }
+
+    #[test]
+    fn scope_rethrows_spawned_panic() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("spawned panic"));
+            });
+        });
+        assert!(result.is_err());
+        assert_eq!(join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn install_switches_pools() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn one_thread_pool_runs_everything() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let total: u64 = pool.install(|| (0u64..10_000).into_par_iter().map(|i| i * 3).sum());
+        assert_eq!(total, 3 * 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_element_once() {
+        let xs: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = xs.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
+        assert_eq!(sums[10], (100..103).sum::<u32>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_values_in_order() {
+        let xs: Vec<String> = (0..50).map(|i| format!("v{i}")).collect();
+        let out: Vec<String> = xs.clone().into_par_iter().map(|s| s + "!").collect();
+        let expect: Vec<String> = xs.into_iter().map(|s| s + "!").collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_to_sequential() {
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = xs.iter().sum();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par: f64 = pool.install(|| xs.par_iter().sum());
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads = {threads}");
+        }
     }
 }

@@ -1,0 +1,703 @@
+//! The work-stealing thread pool under the `rayon` shim's API.
+//!
+//! One [`Registry`] owns N worker threads. Each worker has a private
+//! deque: the owner pushes and pops at the **back** (LIFO, good locality
+//! for nested `join`), thieves steal from the **front** (FIFO, oldest —
+//! which is the biggest remaining subtree under recursive splitting).
+//! External threads inject jobs through a shared queue and block until
+//! completion, so non-`'static` borrows in their closures stay valid.
+//!
+//! Design notes, sized for this workspace's use (coarse tasks — whole
+//! deterministic simulations, microseconds to seconds each):
+//!
+//! * queues are `Mutex<VecDeque>` rather than lock-free Chase–Lev
+//!   deques: at coarse granularity the lock is nanoseconds against
+//!   task bodies of micro- to milliseconds, and it keeps this file
+//!   auditable;
+//! * idle workers park on a condvar with a short timeout and re-check,
+//!   so a missed wakeup can only cost a millisecond, never a deadlock;
+//! * a worker that must wait for a latch (its `join` partner was
+//!   stolen, a scope still has pending tasks) **keeps executing other
+//!   jobs** while it waits — this is what makes nested `join`/`scope`
+//!   deadlock-free on any pool size, including one thread.
+//!
+//! Every job body runs under `catch_unwind`: a panicking task poisons
+//! only its own result (rethrown at the `join`/`scope`/`install` that
+//! owns it); worker threads never unwind and the pool survives.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Jobs.
+
+/// A type-erased pointer to a job owned by some stack frame (or, for
+/// scope spawns, the heap). The owner guarantees the pointee outlives
+/// execution: `join`/`install` block until the job's latch fires, and
+/// `scope` blocks until its pending-counter drains.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only created for jobs whose owner blocks (or
+// counts down a latch) until execution completes, so the pointee is
+// valid on whichever thread runs it.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. Called exactly once per job.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+
+    fn same_job(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+/// What a panicking job captured.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A `join` arm or injected closure living on its owner's stack.
+pub(crate) struct StackJob<L, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// Erase to a [`JobRef`]. Caller must keep `self` alive until the
+    /// latch fires (or until it pops the job back and runs it inline).
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*(data as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        // Publish the result before waking waiters: `set` is a Release
+        // store (WakeLatch) or a mutex release (LockLatch).
+        this.latch.set();
+    }
+
+    /// Run inline on the owning thread (the job was popped back off the
+    /// local deque before anyone stole it).
+    pub(crate) unsafe fn run_inline(&self) {
+        Self::execute_erased(self as *const Self as *const ());
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Extract the result, rethrowing the job's panic if it had one.
+    /// Only called after the latch fired (or inline execution).
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner().expect("job never executed") {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (scope spawns).
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl HeapJob {
+    /// Box `func` and erase it; the returned [`JobRef`] owns the box.
+    pub(crate) fn into_job_ref(func: Box<dyn FnOnce() + Send + 'static>) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        JobRef {
+            data: Box::into_raw(boxed) as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let boxed = Box::from_raw(data as *mut HeapJob);
+        (boxed.func)();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Latches.
+
+/// Completion signal a waiter can block on.
+pub(crate) trait Latch {
+    /// Mark complete and wake any waiter.
+    fn set(&self);
+}
+
+/// Latch probed by a worker that keeps stealing while it waits. `set`
+/// also pokes the registry condvar so a parked owner wakes promptly.
+pub(crate) struct WakeLatch {
+    flag: AtomicBool,
+    registry: *const Registry,
+}
+
+impl WakeLatch {
+    /// `registry` must outlive the latch; callers on worker threads
+    /// guarantee this because workers hold the registry `Arc`.
+    pub(crate) fn new(registry: &Registry) -> Self {
+        WakeLatch {
+            flag: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for WakeLatch {
+    fn set(&self) {
+        // SAFETY: the registry outlives every job that references it.
+        let registry = unsafe { &*self.registry };
+        self.flag.store(true, Ordering::Release);
+        registry.notify_all();
+    }
+}
+
+/// Latch a non-worker thread blocks on (mutex + condvar).
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        // Notify while still holding the lock: a waiter woken spuriously
+        // after an unlocked `done = true` could observe it, return, and
+        // destroy the latch before an after-unlock notify touched `cv`.
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry (the pool proper).
+
+struct WorkerQueue {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+/// A set of worker threads sharing a work-stealing scheduler.
+pub(crate) struct Registry {
+    workers: Vec<WorkerQueue>,
+    injected: Mutex<VecDeque<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// `(registry, worker index)` when the current thread is a pool
+    /// worker. Raw pointer: the worker's own `Arc` keeps it alive.
+    static CURRENT_WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// The current thread's worker identity, if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(*const Registry, usize)> {
+    CURRENT_WORKER.with(|w| w.get())
+}
+
+impl Registry {
+    /// Spawn `num_threads` workers; returns the registry and the
+    /// workers' join handles (owned by [`ThreadPool`], leaked for the
+    /// global pool).
+    fn start(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        assert!(num_threads >= 1);
+        let registry = Arc::new(Registry {
+            workers: (0..num_threads)
+                .map(|_| WorkerQueue {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            injected: Mutex::new(VecDeque::new()),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = registry.clone();
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry.clone(), handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn notify_all(&self) {
+        // Touch the sleep mutex so a worker between its queue check and
+        // its `wait_timeout` cannot miss the notification entirely (the
+        // timeout bounds the cost of the remaining tiny race).
+        drop(self.sleep_mutex.lock().unwrap());
+        self.sleep_cv.notify_all();
+    }
+
+    /// Push onto worker `index`'s own deque (back = LIFO end).
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.workers[index].deque.lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Inject from outside the pool (or across pools).
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injected.lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Pop worker `index`'s most recent job if it is exactly `job`
+    /// (i.e. nobody stole it and nothing else was left on top).
+    fn pop_if_back(&self, index: usize, job: &JobRef) -> bool {
+        let mut deque = self.workers[index].deque.lock().unwrap();
+        if deque.back().is_some_and(|b| b.same_job(job)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Find a job for worker `index`: own deque (LIFO), then the
+    /// injector, then steal the oldest job of another worker.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injected.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.workers.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.workers[victim].deque.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Worker-side wait: keep executing available work until `done`
+    /// reports true. This is the deadlock-avoidance core — a waiting
+    /// worker is still a worker.
+    pub(crate) fn wait_while_working(&self, index: usize, done: &dyn Fn() -> bool) {
+        while !done() {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: every queued JobRef is valid until executed.
+                unsafe { job.execute() };
+                continue;
+            }
+            let guard = self.sleep_mutex.lock().unwrap();
+            if done() {
+                return;
+            }
+            // Timed wait: a `set` that raced past us only costs 200 µs.
+            let _ = self
+                .sleep_cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap();
+        }
+    }
+
+    /// Run `f` on a worker of this registry, blocking the calling
+    /// thread until it completes. If the caller already *is* a worker
+    /// of this registry, run inline.
+    pub(crate) fn in_worker<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((registry, _)) = current_worker() {
+            if std::ptr::eq(registry, self) {
+                return f();
+            }
+        }
+        let job = StackJob::new(LockLatch::new(), f);
+        // SAFETY: we block on the latch below, so the stack frame (and
+        // everything `f` borrows) outlives the job's execution.
+        self.inject(unsafe { job.as_job_ref() });
+        job.latch().wait();
+        job.into_result()
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    CURRENT_WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            // SAFETY: every queued JobRef is valid until executed; job
+            // bodies catch their own panics, so workers never unwind.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = registry.sleep_mutex.lock().unwrap();
+        let _ = registry
+            .sleep_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// join.
+
+/// Run two closures, potentially in parallel, returning both results.
+///
+/// The second closure is published for stealing while the current
+/// thread runs the first; if nobody stole it, it runs inline (so a
+/// one-thread pool degenerates to exactly sequential execution). If
+/// either closure panics, the panic is rethrown here — the first
+/// closure's panic takes precedence — and the pool itself survives.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        // SAFETY: on a worker thread the registry pointer is valid (the
+        // worker holds the Arc for its whole life).
+        Some((registry, index)) => unsafe { join_on_worker(&*registry, index, oper_a, oper_b) },
+        None => global_registry().in_worker(move || join(oper_a, oper_b)),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(WakeLatch::new(registry), oper_b);
+    // SAFETY: job_b stays on this frame; every exit path below first
+    // ensures the job was either executed or popped back un-run.
+    let ref_b = unsafe { job_b.as_job_ref() };
+    registry.push_local(index, ref_b);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.pop_if_back(index, &ref_b) {
+        // Nobody stole b. Run it inline — unless a panicked, in which
+        // case we own the un-run closure and can simply drop it.
+        if result_a.is_ok() {
+            // SAFETY: the job was reclaimed from the deque, so this
+            // thread is its only owner.
+            unsafe { job_b.run_inline() };
+        }
+    } else {
+        // b was stolen (or this worker will pick it off its own deque
+        // while waiting): execute other work until its latch fires.
+        registry.wait_while_working(index, &|| job_b.latch().probe());
+    }
+
+    let ra = match result_a {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    (ra, job_b.into_result())
+}
+
+// ---------------------------------------------------------------------
+// scope / spawn.
+
+/// A scope for spawning tasks that may borrow from the enclosing stack
+/// frame (lifetime `'scope`). All spawned tasks complete before
+/// [`scope`] returns.
+pub struct Scope<'scope> {
+    registry: *const Registry,
+    /// Spawned-but-unfinished task count; the scope's exit latch.
+    pending: Mutex<usize>,
+    /// First panic out of any spawned task, rethrown at scope exit.
+    panic: Mutex<Option<PanicPayload>>,
+    marker: std::marker::PhantomData<Cell<&'scope ()>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that runs sometime before the scope ends. Panics in
+    /// the task are captured and rethrown when the scope closes.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.pending.lock().unwrap() += 1;
+        let scope_ptr = SendPtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Capture the whole SendPtr wrapper, not the raw `.0` field
+            // (edition-2021 disjoint capture would grab the non-Send
+            // pointer otherwise).
+            let scope_ptr = scope_ptr;
+            // SAFETY: the scope blocks until `pending` drains, so it
+            // outlives this task on every path.
+            let scope: &Scope<'scope> = unsafe { &*scope_ptr.0 };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(payload) = result {
+                scope.panic.lock().unwrap().get_or_insert(payload);
+            }
+            // Read the registry pointer *before* counting down: the
+            // moment `pending` hits zero the scope owner may return and
+            // pop the frame holding `scope`.
+            let registry = scope.registry;
+            *scope.pending.lock().unwrap() -= 1;
+            // SAFETY: the registry outlives all of its jobs.
+            unsafe { (*registry).notify_all() };
+        });
+        // SAFETY: lifetime erasure. The closure only borrows data that
+        // lives at least as long as 'scope, and the scope cannot end
+        // before this task runs to completion.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job = HeapJob::into_job_ref(task);
+        // SAFETY: registry outlives the scope.
+        let registry = unsafe { &*self.registry };
+        match current_worker() {
+            Some((current, index)) if std::ptr::eq(current, self.registry) => {
+                registry.push_local(index, job)
+            }
+            _ => registry.inject(job),
+        }
+    }
+
+    fn pending_is_zero(&self) -> bool {
+        *self.pending.lock().unwrap() == 0
+    }
+}
+
+/// Pointer wrapper that asserts cross-thread validity (the scope
+/// discipline guarantees it).
+struct SendPtr<T>(*const T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// Create a scope in which tasks spawned via [`Scope::spawn`] may
+/// borrow non-`'static` data; blocks until every spawned task (and
+/// every task they spawned, recursively) has finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry: &Registry = match current_worker() {
+        // SAFETY: worker threads keep their registry alive.
+        Some((registry, _)) => unsafe { &*registry },
+        None => global_registry(),
+    };
+    registry.in_worker(|| {
+        let (registry_ptr, index) = current_worker().expect("in_worker runs on a worker");
+        let scope = Scope {
+            registry: registry_ptr,
+            pending: Mutex::new(0),
+            panic: Mutex::new(None),
+            marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Drain spawned tasks before unwinding anything: they may
+        // borrow from frames we are about to pop.
+        // SAFETY: we are on a worker of `registry_ptr`.
+        unsafe { (*registry_ptr).wait_while_working(index, &|| scope.pending_is_zero()) };
+        let r = match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        if let Some(payload) = scope.panic.lock().unwrap().take() {
+            panic::resume_unwind(payload);
+        }
+        r
+    })
+}
+
+// ---------------------------------------------------------------------
+// Thread pools and the global registry.
+
+/// Error building a thread pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicit [`ThreadPool`] (or the global pool).
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start configuring a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count; `0` (the default) means automatic —
+    /// `RAYON_NUM_THREADS` if set, otherwise the machine's parallelism.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            return self.num_threads;
+        }
+        default_num_threads()
+    }
+
+    /// Build an explicit pool. Its workers shut down when the
+    /// [`ThreadPool`] is dropped.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, handles) = Registry::start(self.resolved_threads());
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Install this configuration as the global pool. Fails if the
+    /// global pool was already initialised (explicitly or lazily).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = self.resolved_threads();
+        let mut fresh = false;
+        GLOBAL_REGISTRY.get_or_init(|| {
+            fresh = true;
+            let (registry, handles) = Registry::start(threads);
+            for handle in handles {
+                drop(handle); // detach: the global pool lives forever
+            }
+            registry
+        });
+        if fresh {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError {
+                msg: "the global thread pool has already been initialized",
+            })
+        }
+    }
+}
+
+/// Worker count for automatic sizing: `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+static GLOBAL_REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The implicit pool `join`/`par_iter` use outside any explicit pool.
+pub(crate) fn global_registry() -> &'static Registry {
+    GLOBAL_REGISTRY.get_or_init(|| {
+        let (registry, handles) = Registry::start(default_num_threads());
+        for handle in handles {
+            drop(handle); // detach: the global pool lives forever
+        }
+        registry
+    })
+}
+
+/// An explicitly-built pool. Work run under [`ThreadPool::install`]
+/// (and every `join`/`par_iter` nested inside it) executes on this
+/// pool's workers instead of the global pool.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Execute `op` on this pool, blocking until it returns.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.in_worker(op)
+    }
+
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker count of the current context: the enclosing pool's when
+/// called from inside one, the global pool's otherwise.
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        // SAFETY: worker threads keep their registry alive.
+        Some((registry, _)) => unsafe { (*registry).num_threads() },
+        None => global_registry().num_threads(),
+    }
+}

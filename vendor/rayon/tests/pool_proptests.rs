@@ -1,0 +1,168 @@
+//! Property tests for the work-stealing pool: fork-join correctness
+//! under nested spawns, panic isolation, and `par_iter` ≡ `iter` on
+//! arbitrary inputs — each checked across pool widths 1, 2, and 4 so
+//! the single-worker fast paths and the stealing paths are both hit.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Pool widths every property is checked against.
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+}
+
+/// Binary fork-join sum over a slice, splitting down to single elements
+/// so deep nesting is exercised.
+fn tree_sum(xs: &[u64]) -> u64 {
+    match xs.len() {
+        0 => 0,
+        1 => xs[0],
+        n => {
+            let (l, r) = xs.split_at(n / 2);
+            let (a, b) = rayon::join(|| tree_sum(l), || tree_sum(r));
+            a.wrapping_add(b)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Deeply nested `join` computes the same sum as sequential
+    /// iteration, on every pool width.
+    #[test]
+    fn nested_join_matches_sequential_sum(
+        xs in prop::collection::vec(0u64..1_000_000, 0..250),
+    ) {
+        let expect: u64 = xs.iter().sum();
+        for threads in WIDTHS {
+            let got = pool(threads).install(|| tree_sum(&xs));
+            prop_assert_eq!(got, expect, "threads = {}", threads);
+        }
+    }
+
+    /// Every spawned task — including tasks spawned from inside other
+    /// tasks — runs exactly once before `scope` returns.
+    #[test]
+    fn scope_runs_each_nested_spawn_exactly_once(
+        fanout in 1usize..24,
+        children in 0usize..4,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in WIDTHS {
+            let count = AtomicUsize::new(0);
+            pool(threads).install(|| {
+                rayon::scope(|s| {
+                    for _ in 0..fanout {
+                        s.spawn(|s| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                            for _ in 0..children {
+                                s.spawn(|_| {
+                                    count.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                });
+            });
+            prop_assert_eq!(
+                count.load(Ordering::Relaxed),
+                fanout * (1 + children),
+                "threads = {}", threads
+            );
+        }
+    }
+
+    /// A panicking task poisons only its own `scope`: the panic is
+    /// rethrown to the caller, every non-panicking sibling still runs,
+    /// and the pool keeps working afterwards.
+    #[test]
+    fn panic_poisons_only_its_scope_and_pool_survives(
+        tasks in 1usize..16,
+        bad_seed in 0u64..1_000,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let bad = (bad_seed as usize) % tasks;
+        for threads in WIDTHS {
+            let p = pool(threads);
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| {
+                    rayon::scope(|s| {
+                        let ran = &ran;
+                        for i in 0..tasks {
+                            s.spawn(move |_| {
+                                if i == bad {
+                                    panic!("task {i} failed");
+                                }
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }));
+            prop_assert!(result.is_err(), "panic must propagate (threads = {})", threads);
+            prop_assert_eq!(ran.load(Ordering::Relaxed), tasks - 1, "siblings still run");
+            // The same pool is fully usable after the panic.
+            let sum: u64 = p.install(|| (0u64..100).into_par_iter().sum());
+            prop_assert_eq!(sum, 4950u64, "pool survives (threads = {})", threads);
+        }
+    }
+
+    /// `par_iter().map().collect()` and `sum()` agree with the
+    /// sequential iterator bit-for-bit on arbitrary inputs.
+    #[test]
+    fn par_iter_equals_iter(
+        xs in prop::collection::vec(0u64..u64::MAX / 2, 0..400),
+        mul in 1u64..50,
+    ) {
+        let expect_map: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(mul)).collect();
+        let expect_sum: u64 = xs.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        for threads in WIDTHS {
+            let p = pool(threads);
+            let got_map: Vec<u64> =
+                p.install(|| xs.par_iter().map(|&x| x.wrapping_mul(mul)).collect());
+            prop_assert_eq!(&got_map, &expect_map, "map/collect, threads = {}", threads);
+            let got_sum: u64 = p.install(|| {
+                xs.par_iter()
+                    .map(|&x| x)
+                    .reduce(|| 0u64, |a, b| a.wrapping_add(b))
+            });
+            prop_assert_eq!(got_sum, expect_sum, "reduce, threads = {}", threads);
+        }
+    }
+
+    /// `par_chunks` partitions exactly like sequential `chunks` for any
+    /// chunk size.
+    #[test]
+    fn par_chunks_equals_chunks(
+        xs in prop::collection::vec(0u32..1_000_000, 0..300),
+        chunk in 1usize..40,
+    ) {
+        let expect: Vec<Vec<u32>> = xs.chunks(chunk).map(|c| c.to_vec()).collect();
+        for threads in WIDTHS {
+            let got: Vec<Vec<u32>> =
+                pool(threads).install(|| xs.par_chunks(chunk).map(|c| c.to_vec()).collect());
+            prop_assert_eq!(&got, &expect, "threads = {}", threads);
+        }
+    }
+
+    /// Float summation is bit-identical to sequential iteration at every
+    /// width (index-ordered reduce-after-barrier).
+    #[test]
+    fn float_sum_bit_identical_across_widths(
+        xs in prop::collection::vec(0.0f64..1.0e9, 0..300),
+    ) {
+        let expect: f64 = xs.iter().sum();
+        for threads in WIDTHS {
+            let got: f64 = pool(threads).install(|| xs.par_iter().sum());
+            prop_assert_eq!(got.to_bits(), expect.to_bits(), "threads = {}", threads);
+        }
+    }
+}
