@@ -7,7 +7,7 @@
 //! log-depth, i.e. *highly scalable code part* material, in contrast to
 //! the FFT's all-to-all.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use deep_hw::{roofline, NodeModel};
@@ -52,7 +52,10 @@ pub async fn cholesky_distributed(
     let a = spd_matrix(n);
 
     // My tiles: (i, j) → ts×ts data, for owned columns j (lower triangle).
-    let mut tiles: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+    // Ordered map: tiles are addressed by key in the factorisation loops,
+    // but the verification gather walks columns — an ordered container
+    // keeps any iteration deterministic (deep-lint rule D1).
+    let mut tiles: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
     for j in 0..nt {
         if column_owner(j, p) != rank {
             continue;

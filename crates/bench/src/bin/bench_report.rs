@@ -18,6 +18,8 @@
 //! tasks/s (OmpSs graph build), and compares events/s against the
 //! recorded pre-optimisation baseline.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

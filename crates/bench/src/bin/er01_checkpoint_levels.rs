@@ -14,6 +14,8 @@
 //! `run_experiments` driver can run it in-process; this wrapper only
 //! prints the rendered buffer.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     deep_bench::run_experiment_main("er01_checkpoint_levels");
 }

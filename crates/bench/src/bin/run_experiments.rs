@@ -22,6 +22,8 @@
 //! so per-experiment times under contention can exceed their solo
 //! cost — the suite total is the honest number.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;

@@ -7,6 +7,8 @@
 //! number is virtual time out of the deterministic simulator, so reruns
 //! reproduce the tables bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod sweep;
 

@@ -47,6 +47,7 @@
 //! sim.run().assert_completed();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;

@@ -13,6 +13,7 @@
 //! * [`extoll::ExtollFabric`] / [`ib::IbFabric`] — NIC front-ends adding
 //!   the per-message engine overheads (VELO, RMA, SMFU, verbs).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod extoll;

@@ -9,6 +9,8 @@
 //! Objects preserve insertion order (they are association lists, not
 //! maps), so printed output is deterministic.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::Index;
 

@@ -1,0 +1,433 @@
+//! A lightweight Rust lexer — just enough structure for `deep-lint`.
+//!
+//! The rules in this crate need three things a plain `grep` cannot give:
+//!
+//! 1. **comment/string discrimination** — `unsafe` inside a doc comment
+//!    or a string literal must not count as an unsafe site, and
+//!    `"HashMap"` in a string is not a `HashMap` use;
+//! 2. **token adjacency** — `map.iter()` is three tokens whose
+//!    neighbourhood identifies an iteration site, wherever rustfmt broke
+//!    the lines;
+//! 3. **nesting depth** — distinguishing `.sum()` that terminates a
+//!    parallel-iterator chain from a `.sum()` buried inside a closure
+//!    argument of that chain.
+//!
+//! It is deliberately *not* a parser: no AST, no expressions, no types.
+//! Lints built on it are heuristic by design; the escape hatch for the
+//! inevitable false positive is the `deep-lint: allow` pragma, not more
+//! grammar. Numeric literals are lexed loosely (they are never matched
+//! by any rule); raw strings, nested block comments, lifetimes vs. char
+//! literals, and shebang/attribute syntax are handled precisely because
+//! rules do look at those.
+
+/// What a token is. Only the distinctions the rules consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, `mut`, … are idents here).
+    Ident(String),
+    /// A single punctuation character. Multi-char operators arrive as
+    /// consecutive tokens (`::` is `:`, `:`).
+    Punct(char),
+    /// A string/char/numeric literal (payload discarded).
+    Lit,
+    /// A lifetime such as `'scope` (payload discarded).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Bracket nesting depth at this token: number of unclosed
+    /// `(`/`[`/`{` strictly enclosing it. An opener carries the depth
+    /// *outside* itself; its matching closer carries the same value.
+    pub depth: u32,
+}
+
+/// One comment (line or block). Doc comments are comments too.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full text, including the `//` / `/*` markers.
+    pub text: String,
+    /// True when code tokens precede the comment on its start line.
+    pub trailing: bool,
+}
+
+/// A fully lexed file.
+#[derive(Debug, Default)]
+pub struct LexFile {
+    /// All code tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexFile {
+    /// True if `line` holds at least one code token.
+    pub fn is_code_line(&self, line: u32) -> bool {
+        // Tokens are line-ordered; binary search keeps self-runs over
+        // the whole workspace cheap.
+        let i = self.tokens.partition_point(|t| t.line < line);
+        self.tokens.get(i).is_some_and(|t| t.line == line)
+    }
+
+    /// The first code line strictly after `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let i = self.tokens.partition_point(|t| t.line <= line);
+        self.tokens.get(i).map(|t| t.line)
+    }
+
+    /// True if the only tokens on `line` belong to an attribute
+    /// (`#[...]` / `#![...]`), i.e. the first token on the line is `#`.
+    pub fn line_is_attribute_only(&self, line: u32) -> bool {
+        let i = self.tokens.partition_point(|t| t.line < line);
+        match self.tokens.get(i) {
+            Some(t) if t.line == line => t.kind == TokKind::Punct('#'),
+            _ => false,
+        }
+    }
+}
+
+/// Lex `source`. Never fails: unterminated constructs are consumed to
+/// end-of-file (the compiler, not the linter, owns that diagnosis).
+pub fn lex(source: &str) -> LexFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    depth: u32,
+    out: LexFile,
+    /// Tokens already emitted on the current line (for `trailing`).
+    code_on_line: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            depth: 0,
+            out: LexFile::default(),
+            code_on_line: false,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.code_on_line = false;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.tokens.push(Token {
+            kind,
+            line: self.line,
+            depth: self.depth,
+        });
+        self.code_on_line = true;
+    }
+
+    fn run(mut self) -> LexFile {
+        // `#!/usr/bin/env …` shebang on line 1 only.
+        if self.peek(0) == b'#' && self.peek(1) == b'!' && self.peek(2) == b'/' {
+            while self.peek(0) != b'\n' && self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    match c {
+                        b'(' | b'[' | b'{' => {
+                            self.push(TokKind::Punct(c as char));
+                            self.depth += 1;
+                        }
+                        b')' | b']' | b'}' => {
+                            self.depth = self.depth.saturating_sub(1);
+                            self.push(TokKind::Punct(c as char));
+                        }
+                        _ => self.push(TokKind::Punct(c as char)),
+                    }
+                    self.bump();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let trailing = self.code_on_line;
+        while self.peek(0) != b'\n' && self.pos < self.src.len() {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let trailing = self.code_on_line;
+        self.bump();
+        self.bump();
+        let mut nest = 1u32;
+        while nest > 0 && self.pos < self.src.len() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                nest += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                nest -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            trailing,
+        });
+    }
+
+    /// Ordinary string literal, `"` already peeked.
+    fn string(&mut self) {
+        self.bump();
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Lit);
+    }
+
+    /// Raw / byte / raw-byte strings: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    /// Returns false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = 1; // past the leading r or b
+        if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            i = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i) == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if self.peek(i) != b'"' {
+            return false;
+        }
+        if hashes == 0 && self.peek(0) == b'b' && i == 1 {
+            // b"…" — plain byte string with escapes.
+            self.bump();
+            self.string();
+            return true;
+        }
+        // Raw: no escapes; ends at `"` followed by `hashes` hashes.
+        for _ in 0..=i {
+            self.bump(); // prefix + opening quote
+        }
+        'outer: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for h in 0..hashes {
+                    if self.peek(h) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Lit);
+        true
+    }
+
+    /// `'a` lifetime vs `'x'` char literal, `'` already peeked.
+    fn char_or_lifetime(&mut self) {
+        let one = self.peek(1);
+        let is_lifetime = (one == b'_' || one.is_ascii_alphabetic()) && self.peek(2) != b'\'';
+        self.bump();
+        if is_lifetime {
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime);
+            return;
+        }
+        // Char literal: consume through the closing quote.
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Lit);
+    }
+
+    /// Loose numeric literal: digits, type suffixes, hex/bin/oct bodies,
+    /// exponents, and a fraction — but never the second dot of `0..n`.
+    fn number(&mut self) {
+        let body = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
+        while body(self.peek(0)) {
+            self.bump();
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while body(self.peek(0)) {
+                self.bump();
+            }
+            // Exponent sign: 1.5e-3.
+            if (self.peek(0) == b'+' || self.peek(0) == b'-')
+                && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            {
+                self.bump();
+                while body(self.peek(0)) {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokKind::Lit);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+// unsafe in a comment
+/* HashMap in /* a nested */ block */
+let s = "unsafe { HashMap }";
+let r = r#"thread_rng"#;
+let c = 'x';
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let f = lex("a(b(c), d)");
+        let depth_of = |name: &str| {
+            f.tokens
+                .iter()
+                .find(|t| t.kind == TokKind::Ident(name.into()))
+                .unwrap()
+                .depth
+        };
+        assert_eq!(depth_of("a"), 0);
+        assert_eq!(depth_of("b"), 1);
+        assert_eq!(depth_of("c"), 2);
+        assert_eq!(depth_of("d"), 1);
+    }
+
+    #[test]
+    fn range_dots_survive_numbers() {
+        let f = lex("for i in 0..10 {}");
+        let dots = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2, "0..10 must lex as Lit . . Lit");
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let f = lex("let x = 1; // why\n// standalone\n");
+        assert!(f.comments[0].trailing);
+        assert!(!f.comments[1].trailing);
+    }
+
+    #[test]
+    fn float_exponent_and_method_call() {
+        let f = lex("let x = 1.5e-3; y.powi(2); 2f64.sqrt();");
+        // `2f64.sqrt` keeps the dot as punctuation before the ident.
+        assert!(f.tokens.windows(2).any(
+            |w| w[0].kind == TokKind::Punct('.') && w[1].kind == TokKind::Ident("sqrt".into())
+        ));
+    }
+}

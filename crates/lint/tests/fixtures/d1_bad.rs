@@ -1,0 +1,29 @@
+// Fixture: true positives for `unordered-iter` (D1).
+// Expected findings: exactly 3 × unordered-iter (lines marked FIRE).
+use std::collections::{HashMap, HashSet};
+
+struct Metrics {
+    counters: HashMap<String, u64>,
+}
+
+fn export(m: &Metrics) -> Vec<String> {
+    m.counters.keys().cloned().collect() // FIRE: .keys()
+}
+
+fn visit(m: &mut Metrics) {
+    for (_name, v) in m.counters.iter_mut() {
+        // FIRE: .iter_mut()
+        *v += 1;
+    }
+}
+
+fn collect_ids() -> u64 {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    let mut total = 0;
+    for id in &seen {
+        // FIRE: for over a HashSet
+        total += id;
+    }
+    total
+}

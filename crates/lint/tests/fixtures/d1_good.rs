@@ -1,0 +1,37 @@
+// Fixture: true negatives for `unordered-iter` (D1).
+// Expected findings: none. Keyed access, ordered containers, and the
+// pragma'd sorted-export pattern are all legitimate.
+use std::collections::{BTreeMap, HashMap};
+
+struct Metrics {
+    counters: HashMap<String, u64>,
+    ordered: BTreeMap<String, u64>,
+}
+
+fn keyed(m: &mut Metrics) -> Option<u64> {
+    m.counters.insert("spawns".into(), 1);
+    m.counters.get("spawns").copied()
+}
+
+fn ordered_iteration_is_fine(m: &Metrics) -> Vec<String> {
+    m.ordered.keys().cloned().collect()
+}
+
+fn sorted_export(m: &Metrics) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = m
+        .counters
+        // deep-lint: allow(unordered-iter) — collected then sorted by name before exposure
+        .iter()
+        .map(|(k, c)| (k.clone(), *c))
+        .collect();
+    v.sort();
+    v
+}
+
+fn range_loops_are_fine(n: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+// Fixture: true positives for `ambient-authority` (D2).
+// Expected findings: ≥4 × ambient-authority (Instant import + use,
+// env::var, thread_rng) and nothing else.
+use std::time::Instant;
+
+fn wall_clock() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+fn config_from_env() -> Option<String> {
+    std::env::var("DEEP_THREADS").ok()
+}
+
+fn ambient_seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,26 @@
+// Fixture: true negatives for `ambient-authority` (D2).
+// Expected findings: none. Durations are spans (not clock reads), and
+// seeded per-index RNG streams are the sanctioned pattern.
+use std::time::Duration;
+
+struct SimRng(u64);
+
+impl SimRng {
+    fn from_seed_stream(seed: u64, stream: u64) -> SimRng {
+        SimRng(seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}
+
+fn replica_draw(seed: u64, replica: u64) -> u64 {
+    let mut rng = SimRng::from_seed_stream(seed, 0xE401 + replica);
+    rng.next_u64()
+}
+
+fn timeout_budget() -> Duration {
+    Duration::from_micros(200)
+}

@@ -1,0 +1,10 @@
+// Fixture: true positives for `unordered-float-reduce` (D3).
+// Expected findings: exactly 2 × unordered-float-reduce.
+
+fn unordered_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum::<f64>() // FIRE: .sum() on par chain
+}
+
+fn unordered_reduce(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b) // FIRE: .reduce()
+}

@@ -1,0 +1,21 @@
+// Fixture: true negatives for `unordered-float-reduce` (D3).
+// Expected findings: none. Index-slotted collect then a sequential fold
+// is the sanctioned pattern (deep_bench::sweep::par_sweep), and a
+// sequential `.sum()` *inside* a closure argument is fine.
+
+fn ordered_mean(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    let mut total = 0.0;
+    for v in &doubled {
+        total += v;
+    }
+    total / xs.len() as f64
+}
+
+fn inner_sequential_sum(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.par_iter().map(|row| row.iter().sum::<f64>()).collect()
+}
+
+fn sequential_sum_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,19 @@
+// Fixture: malformed pragmas. Expected findings: exactly
+// 3 × malformed-pragma AND 1 × unordered-iter — a bad pragma must
+// never suppress the finding it sits on.
+use std::collections::HashMap;
+
+struct S {
+    names: HashMap<String, u32>,
+}
+
+// deep-lint: allow(unordered-iter)
+fn missing_reason(s: &S) -> usize {
+    s.names.keys().count()
+}
+
+// deep-lint: allow(no-such-rule) — the rule id is unknown
+fn unknown_rule() {}
+
+// deep-lint: allow() — empty rule list
+fn empty_list() {}

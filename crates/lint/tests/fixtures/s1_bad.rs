@@ -1,0 +1,14 @@
+// Fixture: true positives for `undocumented-unsafe` (S1).
+// Expected findings: exactly 3 × undocumented-unsafe.
+
+fn read(p: *const u32) -> u32 {
+    unsafe { *p } // FIRE: bare unsafe block
+}
+
+unsafe fn no_contract(p: *const u32) -> u32 {
+    // FIRE: unsafe fn without a doc contract
+    *p
+}
+
+struct W(*const u8);
+unsafe impl Send for W {} // FIRE: unsafe impl with no justification

@@ -1,0 +1,31 @@
+// Fixture: true negatives for `undocumented-unsafe` (S1).
+// Expected findings: none.
+
+fn read(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees p is valid and aligned for the
+    // duration of this call.
+    unsafe { *p }
+}
+
+/// Dereference a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid, aligned, and initialised.
+unsafe fn documented(p: *const u32) -> u32 {
+    *p
+}
+
+struct W(*const u8);
+// SAFETY: W is only constructed around pointers into 'static data.
+#[allow(dead_code)]
+unsafe impl Send for W {}
+
+struct J {
+    // A function-pointer *type* is not an unsafe site.
+    exec: unsafe fn(*const ()),
+}
+
+fn trailing(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: p comes from a live Box in the caller.
+}

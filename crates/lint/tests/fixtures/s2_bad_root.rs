@@ -1,0 +1,9 @@
+//! Fixture: a crate root *without* `#![forbid(unsafe_code)]`.
+//! Expected: one missing-forbid-unsafe finding (and the commented-out
+//! attribute below must not count).
+
+// #![forbid(unsafe_code)]
+
+pub fn work() -> u32 {
+    42
+}

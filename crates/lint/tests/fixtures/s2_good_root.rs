@@ -1,0 +1,8 @@
+//! Fixture: a crate root with the required attribute.
+//! Expected findings: none.
+
+#![forbid(unsafe_code)]
+
+pub fn work() -> u32 {
+    42
+}

@@ -6,7 +6,7 @@
 //! allow — "decouple how we write (think sequential) from how it is
 //! executed".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use deep_hw::KernelProfile;
 use deep_simkit::SimDuration;
@@ -84,8 +84,12 @@ pub(crate) struct TaskNode {
 /// A dependence DAG under construction or execution.
 pub struct TaskGraph {
     pub(crate) tasks: Vec<TaskNode>,
-    last_writer: HashMap<RegionId, TaskId>,
-    readers_since_write: HashMap<RegionId, Vec<TaskId>>,
+    // BTreeMap rather than HashMap: today these are only read by key,
+    // but region bookkeeping sits directly upstream of dependence-edge
+    // creation — ordered maps make any future iteration deterministic
+    // by construction (deep-lint rule D1).
+    last_writer: BTreeMap<RegionId, TaskId>,
+    readers_since_write: BTreeMap<RegionId, Vec<TaskId>>,
     n_edges: usize,
 }
 
@@ -100,8 +104,8 @@ impl TaskGraph {
     pub fn new() -> TaskGraph {
         TaskGraph {
             tasks: Vec::new(),
-            last_writer: HashMap::new(),
-            readers_since_write: HashMap::new(),
+            last_writer: BTreeMap::new(),
+            readers_since_write: BTreeMap::new(),
             n_edges: 0,
         }
     }

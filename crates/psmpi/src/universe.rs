@@ -8,7 +8,7 @@
 //! (slide 26: the children get their own `MPI_COMM_WORLD`).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use deep_simkit::{OneShot, Sim, SimDuration};
@@ -130,8 +130,11 @@ pub struct TrafficStats {
 
 pub(crate) struct UniverseInner {
     mailboxes: Vec<Mailbox>,
-    pub(crate) registry: HashMap<String, AppFn>,
-    pub(crate) pools: HashMap<String, Vec<EpId>>,
+    // Ordered maps: app names are registered and looked up by key only,
+    // but spawn/pool bookkeeping feeds trace-visible behaviour — keep
+    // any future iteration deterministic (deep-lint rule D1).
+    pub(crate) registry: BTreeMap<String, AppFn>,
+    pub(crate) pools: BTreeMap<String, Vec<EpId>>,
     next_context: u64,
 }
 
@@ -153,8 +156,8 @@ impl Universe {
             wire,
             inner: RefCell::new(UniverseInner {
                 mailboxes,
-                registry: HashMap::new(),
-                pools: HashMap::new(),
+                registry: BTreeMap::new(),
+                pools: BTreeMap::new(),
                 next_context: 1,
             }),
             params,

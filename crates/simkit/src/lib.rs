@@ -44,6 +44,7 @@
 //! assert_eq!(sim.now().as_micros(), 30);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod channel;

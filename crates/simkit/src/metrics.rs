@@ -249,6 +249,7 @@ impl Metrics {
     pub fn all_counters(&self) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> = self
             .counter_names
+            // deep-lint: allow(unordered-iter) — collected then sorted by name before exposure
             .iter()
             .map(|(n, &id)| (n.clone(), self.counters[id.0]))
             .collect();
@@ -260,6 +261,7 @@ impl Metrics {
     pub fn all_histograms(&self) -> Vec<(String, &Histogram)> {
         let mut v: Vec<(String, &Histogram)> = self
             .histogram_names
+            // deep-lint: allow(unordered-iter) — collected then sorted by name before exposure
             .iter()
             .map(|(n, &id)| (n.clone(), &self.histograms[id.0]))
             .collect();
@@ -271,6 +273,7 @@ impl Metrics {
     pub fn all_series(&self) -> Vec<(String, &[(SimTime, f64)])> {
         let mut v: Vec<(String, &[(SimTime, f64)])> = self
             .series_names
+            // deep-lint: allow(unordered-iter) — collected then sorted by name before exposure
             .iter()
             .map(|(n, &id)| (n.clone(), self.series[id.0].as_slice()))
             .collect();

@@ -52,7 +52,14 @@ pub(crate) struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
-    /// Run the job. Called exactly once per job.
+    /// Run the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per job, while the pointee is still
+    /// alive. Both hold for every `JobRef` in this file: a job is pushed
+    /// onto exactly one queue, popped by exactly one thread, and its
+    /// owner blocks (or holds the heap allocation) until execution.
     pub(crate) unsafe fn execute(self) {
         (self.execute)(self.data)
     }
@@ -84,8 +91,14 @@ where
         }
     }
 
-    /// Erase to a [`JobRef`]. Caller must keep `self` alive until the
-    /// latch fires (or until it pops the job back and runs it inline).
+    /// Erase to a [`JobRef`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive and pinned on its stack frame
+    /// until the latch fires (or until it pops the job back off the
+    /// deque and runs it inline) — the returned `JobRef` aliases `self`
+    /// without a lifetime.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
         JobRef {
             data: self as *const Self as *const (),
@@ -93,6 +106,12 @@ where
         }
     }
 
+    /// # Safety
+    ///
+    /// `data` must point to a live `StackJob<L, F, R>` and be invoked at
+    /// most once: it takes `func` out of its cell and writes `result`
+    /// through a shared reference (sound because the latch orders the
+    /// single writer before the single reader in `into_result`).
     unsafe fn execute_erased(data: *const ()) {
         let this = &*(data as *const Self);
         let func = (*this.func.get()).take().expect("job executed twice");
@@ -105,6 +124,12 @@ where
 
     /// Run inline on the owning thread (the job was popped back off the
     /// local deque before anyone stole it).
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the job's sole owner: the `JobRef` made from
+    /// `self` was reclaimed un-run (`pop_if_back` returned true), so no
+    /// other thread can also execute it.
     pub(crate) unsafe fn run_inline(&self) {
         Self::execute_erased(self as *const Self as *const ());
     }
@@ -138,6 +163,12 @@ impl HeapJob {
         }
     }
 
+    /// # Safety
+    ///
+    /// `data` must be the pointer produced by `Box::into_raw` in
+    /// [`HeapJob::into_job_ref`], and must be passed here exactly once —
+    /// this reconstitutes the box (double execution would double-free).
+    /// The queues guarantee single delivery.
     unsafe fn execute_erased(data: *const ()) {
         let boxed = Box::from_raw(data as *mut HeapJob);
         (boxed.func)();
@@ -520,6 +551,10 @@ impl<'scope> Scope<'scope> {
 /// Pointer wrapper that asserts cross-thread validity (the scope
 /// discipline guarantees it).
 struct SendPtr<T>(*const T);
+// SAFETY: only constructed around `&Scope` in `Scope::spawn`. The scope
+// is `Sync`-shaped by construction (its interior state is behind
+// mutexes) and outlives every task that holds the pointer, because
+// `scope` blocks until the pending-counter drains.
 unsafe impl<T> Send for SendPtr<T> {}
 
 /// Create a scope in which tasks spawned via [`Scope::spawn`] may
