@@ -1,11 +1,19 @@
 //! Turn the criterion shim's `CRITERION_JSON` stream into the committed
 //! `BENCH_engine.json` report.
 //!
-//! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json] [suite.json ...]`
+//! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json]
+//! [--serve serve.json] [suite.json ...]`
 //! (defaults: `target/criterion.jsonl`, `BENCH_engine.json`).
 //! Trailing args are `run_experiments --json` outputs; their
 //! `suite_wall_seconds` land in the `experiment_suite` block keyed by
 //! thread count, with the N-vs-1 speedup when both sides are present.
+//! `--serve` takes a `serve_bench` output and lands it in a `serve`
+//! block (daemon jobs/s, cached vs uncached).
+//!
+//! Missing or regressed parallelism is *flagged on stderr*, never
+//! silently omitted: no multi-thread suite row → a warning that the
+//! speedup will be null; a multi-thread suite slower than the 1-thread
+//! run → a regression warning.
 //!
 //! The input is the JSONL stream the vendored criterion shim appends when
 //! `CRITERION_JSON` is set — one line per completed benchmark. Lines may
@@ -140,9 +148,51 @@ fn fmt_rate(r: Option<f64>) -> String {
     }
 }
 
+/// Daemon throughput numbers from a `serve_bench` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ServeStats {
+    jobs: u64,
+    uncached_jobs_per_s: f64,
+    cached_jobs_per_s: f64,
+    cache_speedup: f64,
+    cached_service_micros_max: u64,
+}
+
+/// Parse a `serve_bench` output file.
+fn parse_serve(text: &str) -> Option<ServeStats> {
+    let v = deep_json::from_str(text).ok()?;
+    let s = v.get("serve")?;
+    Some(ServeStats {
+        jobs: s.get("jobs")?.as_u64()?,
+        uncached_jobs_per_s: s.get("uncached_jobs_per_s")?.as_f64()?,
+        cached_jobs_per_s: s.get("cached_jobs_per_s")?.as_f64()?,
+        cache_speedup: s.get("cache_speedup")?.as_f64()?,
+        cached_service_micros_max: s.get("cached_service_micros_max")?.as_u64()?,
+    })
+}
+
+/// N-vs-1 suite speedup: best multi-thread wall against the 1-thread
+/// wall, when both are present.
+fn suite_speedup(suites: &[(u64, f64)]) -> Option<f64> {
+    let wall_1 = suites.iter().find(|(t, _)| *t == 1).map(|&(_, w)| w)?;
+    let wall_best = suites
+        .iter()
+        .filter(|(t, _)| *t > 1)
+        .map(|&(_, w)| w)
+        .fold(None, |acc: Option<f64>, w| {
+            Some(acc.map_or(w, |a| a.min(w)))
+        })?;
+    (wall_best > 0.0).then(|| wall_1 / wall_best)
+}
+
 /// Render the full report as pretty-printed JSON. `suites` holds
-/// (threads, suite_wall_seconds) pairs from `run_experiments --json`.
-fn render(results: &BTreeMap<String, Entry>, suites: &[(u64, f64)]) -> String {
+/// (threads, suite_wall_seconds) pairs from `run_experiments --json`;
+/// `serve` holds daemon throughput from `serve_bench`.
+fn render(
+    results: &BTreeMap<String, Entry>,
+    suites: &[(u64, f64)],
+    serve: Option<&ServeStats>,
+) -> String {
     let events = results.get("engine/timers/1000").and_then(|e| e.per_sec());
     let transfers = best_rate(results, "fabric/transfers/");
     let collectives = best_rate(results, "mpi/");
@@ -197,20 +247,37 @@ fn render(results: &BTreeMap<String, Entry>, suites: &[(u64, f64)]) -> String {
         let _ = writeln!(out, "      \"{threads}\": {wall:.3}{comma}");
     }
     let _ = writeln!(out, "    }},");
-    let wall_1 = suites.iter().find(|(t, _)| *t == 1).map(|&(_, w)| w);
-    let wall_best = suites
-        .iter()
-        .filter(|(t, _)| *t > 1)
-        .map(|&(_, w)| w)
-        .fold(None, |acc: Option<f64>, w| {
-            Some(acc.map_or(w, |a| a.min(w)))
-        });
-    let suite_speedup = match (wall_1, wall_best) {
-        (Some(a), Some(b)) if b > 0.0 => format!("{:.2}", a / b),
-        _ => "null".to_string(),
-    };
-    let _ = writeln!(out, "    \"suite_speedup_vs_1thread\": {suite_speedup}");
+    let speedup_text = suite_speedup(suites).map_or("null".to_string(), |s| format!("{s:.2}"));
+    let _ = writeln!(out, "    \"suite_speedup_vs_1thread\": {speedup_text}");
     let _ = writeln!(out, "  }},");
+    // Daemon throughput (serve_bench): jobs/s cold vs served from the
+    // config-digest cache.
+    match serve {
+        Some(s) => {
+            let _ = writeln!(out, "  \"serve\": {{");
+            let _ = writeln!(out, "    \"jobs\": {},", s.jobs);
+            let _ = writeln!(
+                out,
+                "    \"uncached_jobs_per_s\": {:.2},",
+                s.uncached_jobs_per_s
+            );
+            let _ = writeln!(
+                out,
+                "    \"cached_jobs_per_s\": {:.2},",
+                s.cached_jobs_per_s
+            );
+            let _ = writeln!(out, "    \"cache_speedup\": {:.2},", s.cache_speedup);
+            let _ = writeln!(
+                out,
+                "    \"cached_service_micros_max\": {}",
+                s.cached_service_micros_max
+            );
+            let _ = writeln!(out, "  }},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"serve\": null,");
+        }
+    }
     let _ = writeln!(out, "  \"baseline\": {{");
     let _ = writeln!(out, "    \"commit\": \"{BASELINE_COMMIT}\",");
     let _ = writeln!(out, "    \"events_per_sec\": {base_events:.0},");
@@ -269,15 +336,33 @@ fn dedupe_suites(suites: &mut Vec<(u64, f64)>) {
 }
 
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut serve: Option<ServeStats> = None;
     let mut args = std::env::args().skip(1);
-    let input = args
+    while let Some(arg) = args.next() {
+        if arg == "--serve" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--serve needs a serve_bench output path");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read serve file {path}: {e}"));
+            serve = Some(
+                parse_serve(&text).unwrap_or_else(|| panic!("{path} is not a serve_bench output")),
+            );
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let input = positional
         .next()
         .unwrap_or_else(|| "target/criterion.jsonl".to_string());
-    let output = args
+    let output = positional
         .next()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
     let mut suites: Vec<(u64, f64)> = Vec::new();
-    for path in args {
+    for path in positional {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read suite file {path}: {e}"));
         let parsed = parse_suite(&text)
@@ -285,6 +370,21 @@ fn main() {
         suites.push(parsed);
     }
     dedupe_suites(&mut suites);
+    // Flag missing or regressed parallelism instead of silently
+    // publishing a null/poor speedup.
+    if !suites.is_empty() {
+        match suite_speedup(&suites) {
+            None => eprintln!(
+                "WARNING: suite_speedup_vs_1thread will be null — no multi-thread \
+                 suite row (run run_experiments with RAYON_NUM_THREADS > 1)"
+            ),
+            Some(s) if s < 0.9 => eprintln!(
+                "WARNING: experiment-suite parallel regression: N-thread suite is \
+                 {s:.2}x the 1-thread wall (expected >= 0.9)"
+            ),
+            Some(_) => {}
+        }
+    }
     let text = std::fs::read_to_string(&input)
         .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run scripts/bench.sh first)"));
     let results = collect(&text);
@@ -292,7 +392,7 @@ fn main() {
         results.contains_key("engine/timers/1000"),
         "input has no engine/timers/1000 result; did the engine bench run?"
     );
-    let report = render(&results, &suites);
+    let report = render(&results, &suites, serve.as_ref());
     std::fs::write(&output, &report).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     println!("wrote {output} ({} benchmarks)", results.len());
 }
@@ -343,7 +443,7 @@ mod tests {
             "{\"name\":\"mpi/allreduce/8\",\"ns_per_iter\":1000,\"elements\":4}\n",
             "{\"name\":\"ompss/cholesky_graph_build/8\",\"ns_per_iter\":1000,\"elements\":120}\n",
         );
-        let report = render(&collect(text), &[]);
+        let report = render(&collect(text), &[], None);
         // 100000 elements / 5 ms = 20 M events/s; baseline ≈ 8.92 M → 2.24×.
         assert!(report.contains("\"events_per_sec\": 20000000"));
         assert!(report.contains("\"transfers_per_sec\": 2000000"));
@@ -371,7 +471,7 @@ mod tests {
             "{\"name\":\"sweep/mc_multilevel/1thread\",\"ns_per_iter\":64000000,\"elements\":64}\n",
             "{\"name\":\"sweep/mc_multilevel/nthreads\",\"ns_per_iter\":16000000,\"elements\":64}\n",
         );
-        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)]);
+        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)], None);
         // 64 runs / 64 ms = 1000 runs/s single-threaded, 4000 wide.
         assert!(report.contains("\"sweep_runs_per_sec_1thread\": 1000"));
         assert!(report.contains("\"sweep_runs_per_sec_nthreads\": 4000"));
@@ -387,7 +487,46 @@ mod tests {
         dedupe_suites(&mut suites);
         assert_eq!(suites, vec![(1, 6.7), (4, 2.1)]);
 
-        let report = render(&BTreeMap::new(), &suites);
+        let report = render(&BTreeMap::new(), &suites, None);
         assert_eq!(report.matches("\"1\": ").count(), 1, "{report}");
+    }
+
+    #[test]
+    fn suite_speedup_requires_both_sides() {
+        assert_eq!(suite_speedup(&[]), None);
+        assert_eq!(suite_speedup(&[(1, 8.4)]), None, "no multi-thread row");
+        assert_eq!(suite_speedup(&[(2, 4.2)]), None, "no 1-thread row");
+        let s = suite_speedup(&[(1, 8.4), (2, 4.2)]).unwrap();
+        assert!((s - 2.0).abs() < 1e-9);
+        // Best multi-thread wall wins.
+        let s = suite_speedup(&[(1, 8.4), (2, 4.2), (4, 2.1)]).unwrap();
+        assert!((s - 4.0).abs() < 1e-9);
+        // A regression (slower than 1 thread) still reports honestly.
+        let s = suite_speedup(&[(1, 2.0), (2, 4.0)]).unwrap();
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_section_parses_and_renders() {
+        let text = r#"{
+  "serve": {
+    "jobs": 16,
+    "uncached_jobs_per_s": 12.50,
+    "cached_jobs_per_s": 640.00,
+    "cache_speedup": 51.20,
+    "cached_service_micros_max": 812
+  }
+}"#;
+        let stats = parse_serve(text).unwrap();
+        assert_eq!(stats.jobs, 16);
+        assert_eq!(stats.cached_service_micros_max, 812);
+        let report = render(&BTreeMap::new(), &[], Some(&stats));
+        assert!(report.contains("\"cached_jobs_per_s\": 640.00"), "{report}");
+        assert!(report.contains("\"cache_speedup\": 51.20"), "{report}");
+        // Without serve data the section is an explicit null, not absent.
+        let report = render(&BTreeMap::new(), &[], None);
+        assert!(report.contains("\"serve\": null"), "{report}");
+        assert!(parse_serve("{}").is_none());
+        assert!(parse_serve("not json").is_none());
     }
 }

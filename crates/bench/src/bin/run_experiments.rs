@@ -8,12 +8,22 @@
 //!
 //! ```text
 //! run_experiments [--list] [--only a,b,c] [--json PATH] [--quiet]
+//!                 [--cache-dir PATH]
 //! ```
 //!
-//! * `--list`  — print registry names and exit.
-//! * `--only`  — run a comma-separated subset (unknown names fail).
-//! * `--json`  — also write machine-readable suite timings.
-//! * `--quiet` — suppress experiment output, keep the timing table.
+//! * `--list`      — print registry names and exit.
+//! * `--only`      — run a comma-separated subset (unknown names fail).
+//! * `--json`      — also write machine-readable suite timings.
+//! * `--quiet`     — suppress experiment output, keep the timing table.
+//! * `--cache-dir` — memoise results across runs: each experiment's
+//!   output is keyed by the canonical digest of its config
+//!   (`deep_json::digest` over `{"experiment": name}`) and spilled to
+//!   PATH; a later run with the same digest replays the stored bytes
+//!   instead of simulating. The keying and spill format are shared
+//!   with the `deep-serve` daemon, so a daemon pointed at the same
+//!   directory serves these entries as cache hits (and vice versa) —
+//!   sound only because experiment output is a pure function of the
+//!   config, which the determinism suite enforces.
 //!
 //! Experiment *outputs* are deterministic at any `RAYON_NUM_THREADS`
 //! (see DESIGN.md on the parallel determinism model); the wall-clock
@@ -37,6 +47,8 @@ struct Outcome {
     /// Rendered output, or the panic message.
     result: Result<String, String>,
     seconds: f64,
+    /// Replayed from the digest cache instead of simulated.
+    cached: bool,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -61,17 +73,28 @@ fn run_one(e: &Experiment) -> Outcome {
         name: e.name,
         result,
         seconds: t0.elapsed().as_secs_f64(),
+        cached: false,
     }
 }
 
+/// The cache key for an experiment: canonical digest of the same spec
+/// JSON a `deep-serve` submission would carry.
+fn cache_key(name: &str) -> u64 {
+    deep_json::digest::digest(&deep_json::object([("experiment", name.into())]))
+}
+
 fn usage() -> ! {
-    eprintln!("usage: run_experiments [--list] [--only a,b,c] [--json PATH] [--quiet]");
+    eprintln!(
+        "usage: run_experiments [--list] [--only a,b,c] [--json PATH] [--quiet] \
+         [--cache-dir PATH]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut json_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +110,7 @@ fn main() {
                 only = Some(names.split(',').map(str::to_string).collect());
             }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--cache-dir" => cache_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             _ => usage(),
         }
@@ -105,10 +129,56 @@ fn main() {
             .collect(),
     };
 
+    // Cross-run memoisation: look every selected experiment up in the
+    // digest cache first (sequential — the cache is &mut), run only
+    // the misses in parallel, then spill the fresh results back.
+    let mut cache = cache_dir.as_ref().map(|dir| {
+        deep_json::cache::ResultCache::with_spill_dir(1024, std::path::Path::new(dir))
+            .unwrap_or_else(|e| panic!("cannot open cache dir {dir}: {e}"))
+    });
+    let cached: Vec<Option<String>> = match cache.as_mut() {
+        None => vec![None; selected.len()],
+        Some(cache) => selected
+            .iter()
+            .map(|e| {
+                cache
+                    .get(cache_key(e.name))
+                    .and_then(|v| v["output"].as_str().map(str::to_string))
+            })
+            .collect(),
+    };
+
     let threads = rayon::current_num_threads();
     let t0 = Instant::now();
-    let outcomes: Vec<Outcome> = selected.par_iter().map(|e| run_one(e)).collect();
+    let outcomes: Vec<Outcome> = (0..selected.len())
+        .into_par_iter()
+        .map(|i| match &cached[i] {
+            Some(output) => Outcome {
+                name: selected[i].name,
+                result: Ok(output.clone()),
+                seconds: 0.0,
+                cached: true,
+            },
+            None => run_one(selected[i]),
+        })
+        .collect();
     let suite_wall = t0.elapsed().as_secs_f64();
+
+    if let Some(cache) = cache.as_mut() {
+        for o in outcomes.iter().filter(|o| !o.cached) {
+            if let Ok(output) = &o.result {
+                // Same value shape as a deep-serve experiment result,
+                // so daemon and driver can share the directory.
+                let value = deep_json::object([
+                    ("experiment", o.name.into()),
+                    ("output", output.as_str().into()),
+                ]);
+                if let Err(e) = cache.insert(cache_key(o.name), value) {
+                    eprintln!("warning: cache spill failed for {}: {e}", o.name);
+                }
+            }
+        }
+    }
 
     // Buffers print in registry order, regardless of completion order.
     let mut failures = 0usize;
@@ -135,7 +205,12 @@ fn main() {
         t.row(&[
             o.name.to_string(),
             format!("{:.3}", o.seconds),
-            if o.result.is_ok() { "ok" } else { "FAILED" }.to_string(),
+            match (&o.result, o.cached) {
+                (Ok(_), true) => "ok (cached)",
+                (Ok(_), false) => "ok",
+                (Err(_), _) => "FAILED",
+            }
+            .to_string(),
         ]);
     }
     t.row(&[

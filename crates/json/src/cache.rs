@@ -1,0 +1,203 @@
+//! Content-addressed result cache keyed by config digests.
+//!
+//! The cache memoizes expensive computations (simulation sweeps,
+//! experiment renders) whose inputs are canonicalised JSON configs:
+//! the key is [`crate::digest::digest`] of the config, the value is
+//! the result as a [`Value`]. Storage is a bounded in-memory LRU with
+//! an optional on-disk spill directory — evicted or cold entries are
+//! still served from disk, so repeated sweeps across *process* runs
+//! are free too (ROADMAP item 1's cross-run memoization).
+//!
+//! Recency is a logical access counter, not wall-clock time, so
+//! eviction order is a pure function of the access sequence — the
+//! LRU tests can assert exact eviction victims.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{from_str, Value};
+
+/// Running totals; `hits`/`misses` count [`ResultCache::get`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered by loading a spill file.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries pushed out of memory by the LRU bound.
+    pub evictions: u64,
+}
+
+struct Slot {
+    value: Value,
+    /// Logical last-access stamp (monotone counter, not time).
+    stamp: u64,
+}
+
+/// Bounded LRU of digest → result, with optional disk spill.
+pub struct ResultCache {
+    capacity: usize,
+    slots: BTreeMap<u64, Slot>,
+    clock: u64,
+    spill_dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// In-memory cache holding at most `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            slots: BTreeMap::new(),
+            clock: 0,
+            spill_dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Like [`ResultCache::new`], plus a spill directory (created if
+    /// missing): inserts are persisted as `<digest>.json`, and misses
+    /// fall back to loading from it.
+    pub fn with_spill_dir(capacity: usize, dir: &Path) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut c = ResultCache::new(capacity);
+        c.spill_dir = Some(dir.to_path_buf());
+        Ok(c)
+    }
+
+    fn spill_path(&self, digest: u64) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{digest:016x}.json")))
+    }
+
+    /// Look up a digest; memory first, then the spill directory (a
+    /// disk hit is promoted back into memory).
+    pub fn get(&mut self, digest: u64) -> Option<Value> {
+        self.clock += 1;
+        if let Some(slot) = self.slots.get_mut(&digest) {
+            slot.stamp = self.clock;
+            self.stats.hits += 1;
+            return Some(slot.value.clone());
+        }
+        if let Some(path) = self.spill_path(digest) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(v) = from_str(&text) {
+                    self.stats.disk_hits += 1;
+                    self.place(digest, v.clone());
+                    return Some(v);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert (or refresh) an entry, spilling to disk when configured.
+    /// Disk write failures are reported; the memory insert stands
+    /// regardless.
+    pub fn insert(&mut self, digest: u64, value: Value) -> io::Result<()> {
+        self.clock += 1;
+        let mut spill_result = Ok(());
+        if let Some(path) = self.spill_path(digest) {
+            // Write-then-rename so a concurrent reader never sees a
+            // torn file.
+            let tmp = path.with_extension("tmp");
+            spill_result =
+                std::fs::write(&tmp, value.to_json()).and_then(|()| std::fs::rename(&tmp, &path));
+        }
+        self.place(digest, value);
+        spill_result
+    }
+
+    /// Memory insert + LRU eviction, recency stamped from the clock.
+    fn place(&mut self, digest: u64, value: Value) {
+        self.slots.insert(
+            digest,
+            Slot {
+                value,
+                stamp: self.clock,
+            },
+        );
+        while self.slots.len() > self.capacity {
+            let coldest = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(&d, _)| d)
+                .expect("non-empty over capacity");
+            self.slots.remove(&coldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Entries currently resident in memory.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is resident in memory.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u64) -> Value {
+        Value::Object(vec![("n".to_string(), Value::Number(n as f64))])
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, v(1)).unwrap();
+        c.insert(2, v(2)).unwrap();
+        assert!(c.get(1).is_some()); // 1 is now warmer than 2
+        c.insert(3, v(3)).unwrap(); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "coldest entry must be the victim");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bound_holds_under_churn() {
+        let mut c = ResultCache::new(4);
+        for i in 0..100 {
+            c.insert(i, v(i)).unwrap();
+            assert!(c.len() <= 4);
+        }
+        assert_eq!(c.stats().evictions, 96);
+        // The four newest survive.
+        for i in 96..100 {
+            assert!(c.get(i).is_some());
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_exact_value() {
+        let mut c = ResultCache::new(8);
+        let val = crate::from_str(r#"{"rows":[1,2,3],"eff":0.96}"#).unwrap();
+        c.insert(42, val.clone()).unwrap();
+        assert_eq!(c.get(42), Some(val));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+}

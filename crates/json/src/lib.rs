@@ -8,11 +8,32 @@
 //!
 //! Objects preserve insertion order (they are association lists, not
 //! maps), so printed output is deterministic.
+//!
+//! Since `deep-serve` feeds this parser straight off sockets, it is
+//! hardened for untrusted input: container nesting is capped at
+//! [`MAX_DEPTH`] (the parser is recursive-descent, so unbounded depth
+//! would exhaust the stack), every malformed document returns a
+//! [`ParseError`] with a byte offset instead of panicking, and
+//! [`from_slice`] accepts arbitrary byte soup (UTF-8 is validated
+//! first). A proptest in `tests/untrusted_input.rs` drives random
+//! bytes through the parser to keep the no-panic claim honest.
+//!
+//! [`digest`] canonicalises a [`Value`] (object keys sorted) and
+//! hashes it with FNV-1a; [`cache`] is the content-addressed result
+//! store built on those digests.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod digest;
+
 use std::fmt;
 use std::ops::Index;
+
+/// Maximum container nesting [`from_str`] accepts. Deeper documents are
+/// rejected with a parse error rather than risking stack exhaustion on
+/// adversarial input like `[[[[…`.
+pub const MAX_DEPTH: usize = 128;
 
 /// A JSON document node.
 #[derive(Debug, Clone, PartialEq)]
@@ -295,11 +316,23 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Parse an untrusted byte buffer: UTF-8 is validated first (failure
+/// reported at the first invalid byte), then parsed like [`from_str`].
+/// Never panics, whatever the input.
+pub fn from_slice(input: &[u8]) -> Result<Value, ParseError> {
+    let s = std::str::from_utf8(input).map_err(|e| ParseError {
+        at: e.valid_up_to(),
+        message: "invalid UTF-8".to_string(),
+    })?;
+    from_str(s)
+}
+
 /// Parse a complete JSON document (trailing whitespace allowed).
 pub fn from_str(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -313,6 +346,7 @@ pub fn from_str(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -357,11 +391,26 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
             Some(b'"') => Ok(Value::String(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Run a container parser one nesting level deeper, enforcing
+    /// [`MAX_DEPTH`].
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Value, ParseError>,
+    ) -> Result<Value, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        let v = inner(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
@@ -563,6 +612,28 @@ mod tests {
         assert!(from_str("nul").is_err());
         assert!(from_str("1 2").is_err());
         assert!(from_str(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_instead_of_overflowing() {
+        // One level under the cap parses; one over errors cleanly.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(from_str(&ok).is_ok());
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.message.contains("MAX_DEPTH"), "{err}");
+        // Mixed object/array nesting counts every container level.
+        let mixed = "{\"k\":".repeat(70) + &"[".repeat(70);
+        assert!(from_str(&mixed).is_err());
+    }
+
+    #[test]
+    fn from_slice_handles_arbitrary_bytes() {
+        assert_eq!(from_slice(b"[1,2]").unwrap(), from_str("[1,2]").unwrap());
+        let err = from_slice(&[b'"', 0xff, 0xfe, b'"']).unwrap_err();
+        assert!(err.message.contains("UTF-8"));
+        assert_eq!(err.at, 1);
+        assert!(from_slice(&[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Digest-cache guarantees the serving layer depends on:
+//!
+//! * the canonical digest is a pure function of the config — identical
+//!   at any pool width and pinned across process runs;
+//! * a cache hit returns a byte-identical rendering of what was
+//!   inserted, through memory and through the disk spill path;
+//! * eviction respects the LRU bound deterministically (recency is a
+//!   logical counter, so no ambient time enters the digest path).
+
+use deep_json::cache::ResultCache;
+use deep_json::digest::{canonical_json, digest, digest_hex};
+use deep_json::{from_str, object, Value};
+use rayon::prelude::*;
+use std::path::PathBuf;
+
+fn sweep_config(seed: u64) -> Value {
+    object([
+        ("seed", seed.into()),
+        ("replicas", 8u32.into()),
+        (
+            "points",
+            Value::Array(vec![object([
+                ("n_nodes", 640u64.into()),
+                ("interval_s", 5400.0.into()),
+            ])]),
+        ),
+    ])
+}
+
+#[test]
+fn digest_is_identical_at_any_pool_width() {
+    let configs: Vec<Value> = (0..64).map(sweep_config).collect();
+    let serial: Vec<u64> = configs.iter().map(digest).collect();
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let par: Vec<u64> = pool.install(|| configs.par_iter().map(digest).collect());
+        assert_eq!(serial, par, "digest diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn digest_survives_a_parse_round_trip() {
+    // What a client digests locally must equal what the server digests
+    // after the config crossed the wire.
+    let v = sweep_config(7);
+    let rewired = from_str(&v.to_json()).unwrap();
+    assert_eq!(digest(&v), digest(&rewired));
+    // Member order scrambled en route (objects are order-preserving):
+    let scrambled =
+        from_str(r#"{"points":[{"interval_s":5400,"n_nodes":640}],"replicas":8,"seed":7}"#)
+            .unwrap();
+    assert_eq!(digest(&v), digest(&scrambled));
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_the_inserted_result() {
+    let mut cache = ResultCache::new(16);
+    let result = from_str(r#"{"efficiencies":[0.9637,0.8812],"truncated":[0,0]}"#).unwrap();
+    let key = digest(&sweep_config(1));
+    cache.insert(key, result.clone()).unwrap();
+    let hit = cache.get(key).expect("hit");
+    assert_eq!(
+        hit.to_json(),
+        result.to_json(),
+        "rendering must match byte-for-byte"
+    );
+}
+
+#[test]
+fn spill_dir_round_trips_across_cache_instances() {
+    // Two ResultCache instances over the same directory model two
+    // process runs: the second gets a disk hit with identical bytes.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("digest_cache_spill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = digest(&sweep_config(2));
+    let result = from_str(r#"{"output":"F03b table…","rows":4}"#).unwrap();
+    {
+        let mut warm = ResultCache::with_spill_dir(4, &dir).unwrap();
+        warm.insert(key, result.clone()).unwrap();
+    }
+    let mut cold = ResultCache::with_spill_dir(4, &dir).unwrap();
+    assert_eq!(cold.len(), 0, "fresh instance starts cold in memory");
+    let hit = cold.get(key).expect("disk hit");
+    assert_eq!(hit.to_json(), result.to_json());
+    assert_eq!(cold.stats().disk_hits, 1);
+    assert_eq!(cold.stats().hits, 0);
+    // Promoted into memory: the second lookup is a memory hit.
+    assert!(cold.get(key).is_some());
+    assert_eq!(cold.stats().hits, 1);
+}
+
+#[test]
+fn eviction_spares_spilled_entries() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("digest_cache_evict");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cache = ResultCache::with_spill_dir(2, &dir).unwrap();
+    let keys: Vec<u64> = (0..5).map(|i| digest(&sweep_config(i))).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        cache
+            .insert(k, Value::Object(vec![("i".into(), (i as u64).into())]))
+            .unwrap();
+    }
+    assert_eq!(cache.len(), 2, "LRU bound holds");
+    assert_eq!(cache.stats().evictions, 3);
+    // Evicted entries still answer — from disk.
+    let hit = cache.get(keys[0]).expect("spilled entry still served");
+    assert_eq!(hit["i"].as_u64(), Some(0));
+    assert_eq!(cache.stats().disk_hits, 1);
+}
+
+#[test]
+fn hex_form_is_the_spill_file_name() {
+    let v = sweep_config(3);
+    let hex = digest_hex(&v);
+    assert_eq!(hex.len(), 16);
+    assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), digest(&v));
+    assert!(canonical_json(&v).starts_with("{\"points\""));
+}

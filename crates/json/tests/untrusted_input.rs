@@ -1,0 +1,64 @@
+//! Adversarial-input tests: `deep-serve` hands this parser raw network
+//! payloads, so no input — valid, truncated, binary, or deeply nested —
+//! may panic or overflow the stack. Errors must carry a byte offset
+//! inside the input.
+
+use deep_json::{from_slice, from_str, Value, MAX_DEPTH};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Arbitrary byte soup: parse must return, never panic. On error
+    /// the offset points into (or just past) the input.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..64)) {
+        match from_slice(&bytes) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.at <= bytes.len()),
+        }
+    }
+
+    /// Byte soup drawn from JSON's own alphabet reaches much deeper
+    /// into the parser than uniform bytes do.
+    #[test]
+    fn structural_soup_never_panics(picks in prop::collection::vec(0usize..16, 0..48)) {
+        const ALPHABET: [&str; 16] = [
+            "{", "}", "[", "]", ":", ",", "\"", "\\", "1", "-", ".", "e",
+            "true", "null", " ", "\\u12",
+        ];
+        let doc: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+        let _ = from_str(&doc);
+    }
+
+    /// Every parse of a rendered document round-trips exactly.
+    #[test]
+    fn render_parse_round_trip(n in 0u64..1_000_000, s in prop::collection::vec(32u8..127, 0..16)) {
+        let text = String::from_utf8(s).unwrap();
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::Number(n as f64)),
+            ("s".to_string(), Value::String(text)),
+        ]);
+        prop_assert_eq!(from_str(&v.to_json()).unwrap(), v);
+    }
+}
+
+#[test]
+fn pathological_nesting_errors_cleanly() {
+    // Orders of magnitude past MAX_DEPTH: must error, not blow the stack.
+    for open in ["[", "{\"k\":"] {
+        let doc = open.repeat(100 * MAX_DEPTH);
+        let err = from_str(&doc).unwrap_err();
+        assert!(err.message.contains("MAX_DEPTH"), "{err}");
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_document_never_panic() {
+    let full = r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny\"zA"},"d":null,"e":true}"#;
+    for cut in 0..full.len() {
+        if full.is_char_boundary(cut) {
+            let _ = from_str(&full[..cut]);
+        }
+    }
+}

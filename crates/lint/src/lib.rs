@@ -24,6 +24,11 @@
 //!   `crates/bench/src/experiments/`, which is fully in scope.
 //! * `crates/lint/**` — everything except D2 (the linter reads the
 //!   process environment and filesystem by design).
+//! * `crates/serve/**` — everything except D2: the daemon is host-side
+//!   service plumbing (wall-clock service timing, CLI args, socket
+//!   timeouts), not simulation. The simulation it schedules runs in
+//!   `deep-core`/`deep-bench`, which stay fully in scope — the daemon
+//!   cannot leak nondeterminism into results it merely transports.
 //! * everything else (`crates/**`, `src/**`, `tests/**`, `examples/**`)
 //!   — all rules.
 //!
@@ -53,7 +58,10 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
             .with(Rule::MalformedPragma);
     }
     let all = RuleSet::all();
-    if rel.starts_with("crates/bench/src/bin/") || rel.starts_with("crates/lint/") {
+    if rel.starts_with("crates/bench/src/bin/")
+        || rel.starts_with("crates/lint/")
+        || rel.starts_with("crates/serve/")
+    {
         return all.without(Rule::AmbientAuthority);
     }
     all
@@ -206,6 +214,13 @@ mod tests {
         );
         assert!(rules_for_path("crates/simkit/src/kernel.rs").has(Rule::UnorderedIter));
         assert!(!rules_for_path("crates/lint/tests/fixtures/d1_bad.rs").has(Rule::UnorderedIter));
+        // The serve daemon is D2-exempt service plumbing, but every
+        // other rule still applies to it — and the sim crates it
+        // drives keep full D2 coverage.
+        assert!(!rules_for_path("crates/serve/src/scheduler.rs").has(Rule::AmbientAuthority));
+        assert!(rules_for_path("crates/serve/src/scheduler.rs").has(Rule::UnorderedIter));
+        assert!(rules_for_path("crates/core/src/resilience.rs").has(Rule::AmbientAuthority));
+        assert!(rules_for_path("crates/bench/src/sweep.rs").has(Rule::AmbientAuthority));
     }
 
     #[test]

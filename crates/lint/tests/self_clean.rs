@@ -41,6 +41,8 @@ fn scan_covers_the_known_terrain() {
         "crates/simkit/src/lib.rs",
         "crates/lint/src/main.rs",
         "crates/bench/src/bin/run_experiments.rs",
+        "crates/serve/src/lib.rs",
+        "crates/serve/src/bin/deep_serve.rs",
     ] {
         assert!(
             roots.iter().any(|r| r == expected),

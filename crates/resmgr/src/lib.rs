@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assign;
+
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;

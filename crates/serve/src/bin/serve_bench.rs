@@ -1,0 +1,103 @@
+//! `serve_bench`: measure daemon throughput, cached vs uncached.
+//!
+//! Starts an in-process `deep-serve` on a loopback port, submits a
+//! batch of distinct sweep jobs over real HTTP (cold: every job
+//! simulates), then resubmits the identical bodies (warm: every job
+//! is a cache hit), and prints a JSON `serve` section for
+//! BENCH_engine.json:
+//!
+//! ```json
+//! {"serve": {"jobs": 16, "uncached_jobs_per_s": …,
+//!            "cached_jobs_per_s": …, "cache_speedup": …,
+//!            "cached_service_micros_max": …}}
+//! ```
+//!
+//! Wall-clock here is measurement, not simulation — the numbers vary
+//! run to run; the *results* of the jobs do not.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+use deep_serve::client::ServeClient;
+use deep_serve::scheduler::SchedulerConfig;
+use deep_serve::server::Server;
+
+const JOBS: usize = 16;
+
+fn body(i: usize) -> String {
+    // Distinct interval per job → distinct digest → no accidental
+    // warm hits during the cold phase.
+    format!(
+        r#"{{"client":"bench","sweep":{{"seed":7,"replicas":2,"points":[
+            {{"work_s":5000,"n_nodes":640,"mtbf_node_s":157680000,
+              "checkpoint_s":120,"restart_s":300,"interval_s":{}}}]}}}}"#,
+        600 + i * 60
+    )
+}
+
+fn main() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SchedulerConfig {
+            pool_threads: rayon::current_num_threads() as u32,
+            queue_bound: JOBS * 2,
+            ..SchedulerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_bench: bind: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr.to_string();
+    let handle = server.handle();
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    let daemon = std::thread::spawn(move || server.run(&NEVER));
+
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    let run_phase = |client: &mut ServeClient| -> (f64, u64) {
+        let t0 = Instant::now();
+        let mut max_service = 0u64;
+        for i in 0..JOBS {
+            let job = client.submit_and_wait(&body(i), 50).expect("job completes");
+            assert_eq!(job["state"].as_str(), Some("done"), "{}", job.to_json());
+            max_service = max_service.max(job["service_micros"].as_u64().unwrap_or(0));
+        }
+        (t0.elapsed().as_secs_f64(), max_service)
+    };
+
+    let (cold_s, _) = run_phase(&mut client);
+    let (warm_s, warm_service_max) = run_phase(&mut client);
+
+    // Sanity: the warm phase must actually have hit the cache.
+    let metrics = client.metrics().expect("metrics");
+    let hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("deep_serve_jobs_cache_hits_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    assert!(hits >= JOBS as u64, "expected warm cache hits, got {hits}");
+
+    handle.begin_drain();
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+
+    let uncached_rate = JOBS as f64 / cold_s.max(1e-9);
+    let cached_rate = JOBS as f64 / warm_s.max(1e-9);
+    println!("{{");
+    println!("  \"serve\": {{");
+    println!("    \"jobs\": {JOBS},");
+    println!("    \"uncached_jobs_per_s\": {uncached_rate:.2},");
+    println!("    \"cached_jobs_per_s\": {cached_rate:.2},");
+    println!(
+        "    \"cache_speedup\": {:.2},",
+        cached_rate / uncached_rate.max(1e-9)
+    );
+    println!("    \"cached_service_micros_max\": {warm_service_max}");
+    println!("  }}");
+    println!("}}");
+}

@@ -1,0 +1,394 @@
+//! End-to-end tests: a real daemon on a loopback socket, real HTTP
+//! clients, every acceptance property of the serve subsystem.
+//!
+//! Each test boots its own `Server` on port 0 with a private
+//! termination flag (the sigshim flag is process-global and one-way,
+//! so tests drive drain through [`ServerHandle::begin_drain`]
+//! instead).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use deep_serve::client::{ServeClient, Submitted};
+use deep_serve::scheduler::SchedulerConfig;
+use deep_serve::server::{Server, ServerHandle};
+
+/// A daemon under test: drain + join on drop-by-hand.
+struct Daemon {
+    handle: ServerHandle,
+    addr: String,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+fn boot(cfg: SchedulerConfig) -> Daemon {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let handle = server.handle();
+    let addr = server.addr.to_string();
+    // Leak one flag per daemon: `run` borrows it for the daemon's
+    // lifetime, which outlives this stack frame.
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let thread = std::thread::spawn(move || server.run(flag));
+    Daemon {
+        handle,
+        addr,
+        thread,
+    }
+}
+
+impl Daemon {
+    fn stop(self) {
+        self.handle.begin_drain();
+        self.thread
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    }
+}
+
+fn experiment_body(client: &str, name: &str) -> String {
+    format!(r#"{{"client":"{client}","experiment":"{name}"}}"#)
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results() {
+    let daemon = boot(SchedulerConfig {
+        workers: 2,
+        queue_bound: 16,
+        ..SchedulerConfig::default()
+    });
+    let direct = deep_bench::experiments::run_to_string("f02_evolution").unwrap();
+
+    // ≥4 concurrent clients, separate connections, same experiment.
+    let barrier = Arc::new(Barrier::new(4));
+    let outputs: Vec<String> = (0..4)
+        .map(|i| {
+            let addr = daemon.addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&addr).expect("connect");
+                barrier.wait();
+                let job = client
+                    .submit_and_wait(
+                        &experiment_body(&format!("tenant-{i}"), "f02_evolution"),
+                        20,
+                    )
+                    .expect("job completes");
+                assert_eq!(job["state"].as_str(), Some("done"), "{}", job.to_json());
+                job["result"]["output"]
+                    .as_str()
+                    .expect("output")
+                    .to_string()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    for out in &outputs {
+        assert_eq!(
+            out, &direct,
+            "daemon output must be byte-identical to the direct run"
+        );
+    }
+    daemon.stop();
+}
+
+#[test]
+fn resubmission_is_a_cache_hit_with_fast_service() {
+    let daemon = boot(SchedulerConfig::default());
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+
+    let cold = client
+        .submit_and_wait(&experiment_body("ci", "f02_evolution"), 20)
+        .expect("cold run");
+    assert_eq!(cold["cache_hit"].as_bool(), Some(false));
+
+    let warm = client
+        .submit_and_wait(&experiment_body("ci", "f02_evolution"), 20)
+        .expect("warm run");
+    assert_eq!(warm["cache_hit"].as_bool(), Some(true));
+    assert_eq!(
+        warm["result"].to_json(),
+        cold["result"].to_json(),
+        "cache hit must be byte-identical"
+    );
+    // A hit never touches a worker: service time is the digest + map
+    // lookup. Give the assertion 100x headroom over "sub-millisecond"
+    // for debug builds and noisy CI — it still catches any accidental
+    // re-execution (the cold run takes far longer than 100 ms here).
+    let micros = warm["service_micros"].as_u64().expect("service time");
+    assert!(micros < 100_000, "cache hit took {micros}us");
+    daemon.stop();
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after_and_recovers() {
+    let daemon = boot(SchedulerConfig {
+        workers: 1,
+        queue_bound: 2,
+        ..SchedulerConfig::default()
+    });
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+
+    // Occupy the single worker, then fill the two queue slots.
+    let mut admitted = Vec::new();
+    let mut saw_backoff = None;
+    for _ in 0..8 {
+        match client
+            .submit_raw(r#"{"client":"flood","sleep_ms":400}"#)
+            .expect("submit")
+        {
+            Submitted::Job(job) => admitted.push(job["id"].as_u64().unwrap()),
+            Submitted::Backoff {
+                status,
+                retry_after_s,
+            } => {
+                saw_backoff = Some((status, retry_after_s));
+                break;
+            }
+        }
+    }
+    let (status, retry_after_s) = saw_backoff.expect("flood must hit the bound");
+    assert_eq!(status, 429);
+    assert!(
+        retry_after_s >= 1,
+        "Retry-After must be present and positive"
+    );
+    assert!(
+        admitted.len() <= 3,
+        "bound 2 + running 1 admitted {admitted:?}"
+    );
+
+    // Admitted jobs still finish, and capacity comes back.
+    for id in admitted {
+        loop {
+            let job = client.job(id).expect("status");
+            if job["state"].as_str() == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    match client
+        .submit_raw(r#"{"client":"flood","sleep_ms":1}"#)
+        .expect("submit after drain of queue")
+    {
+        Submitted::Job(_) => {}
+        Submitted::Backoff { status, .. } => panic!("still rejected: HTTP {status}"),
+    }
+    daemon.stop();
+}
+
+#[test]
+fn drain_rejects_with_503_and_finishes_inflight_jobs() {
+    let daemon = boot(SchedulerConfig {
+        workers: 1,
+        ..SchedulerConfig::default()
+    });
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    let inflight = match client
+        .submit_raw(r#"{"client":"ops","sleep_ms":300}"#)
+        .expect("submit")
+    {
+        Submitted::Job(job) => job["id"].as_u64().unwrap(),
+        other => panic!("expected admission, got {other:?}"),
+    };
+
+    daemon.handle.begin_drain();
+    match client
+        .submit_raw(r#"{"client":"ops","sleep_ms":1}"#)
+        .expect("submit during drain")
+    {
+        Submitted::Backoff {
+            status,
+            retry_after_s,
+        } => {
+            assert_eq!(status, 503);
+            assert!(retry_after_s >= 1);
+        }
+        Submitted::Job(job) => panic!("draining daemon admitted a job: {}", job.to_json()),
+    }
+
+    // Watch the in-flight job to its terminal state over the still-
+    // open connection: drain must let it finish, not kill it.
+    let job = loop {
+        let job = client.job(inflight).expect("status during drain");
+        if job["state"].as_str() == Some("done") {
+            break job;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(job["result"]["slept_ms"].as_u64(), Some(300));
+    // And the daemon exits cleanly only after that.
+    daemon
+        .thread
+        .join()
+        .expect("daemon thread")
+        .expect("clean drain");
+}
+
+#[test]
+fn health_metrics_and_errors_speak_http() {
+    let daemon = boot(SchedulerConfig::default());
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["draining"].as_bool(), Some(false));
+
+    client
+        .submit_and_wait(&experiment_body("m", "f02_evolution"), 20)
+        .expect("job");
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("deep_serve_jobs_submitted_total 1"),
+        "{metrics}"
+    );
+
+    // Unknown job, unknown route, malformed body, unknown experiment.
+    assert!(client.job(999).is_err());
+    let err = client
+        .submit_raw(r#"{"experiment":"no_such_thing"}"#)
+        .expect_err("unknown experiment is a 400");
+    assert!(err.to_string().contains("400"), "{err}");
+    let err = client
+        .submit_raw("this is not json")
+        .expect_err("malformed body is a 400");
+    assert!(err.to_string().contains("400"), "{err}");
+    daemon.stop();
+}
+
+#[test]
+fn event_stream_narrates_the_job_lifecycle() {
+    let daemon = boot(SchedulerConfig {
+        workers: 1,
+        ..SchedulerConfig::default()
+    });
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    // A multi-point sweep slow enough to still be running when the
+    // watcher attaches (the worker is parked behind a sleep first).
+    let sweep = r#"{"client":"w","sweep":{"seed":7,"replicas":2,"points":[
+        {"work_s":20000,"n_nodes":640,"mtbf_node_s":157680000,
+         "checkpoint_s":120,"restart_s":300,"interval_s":1800},
+        {"work_s":20000,"n_nodes":640,"mtbf_node_s":157680000,
+         "checkpoint_s":120,"restart_s":300,"interval_s":3600}]}}"#;
+    client
+        .submit_raw(r#"{"client":"w","sleep_ms":150}"#)
+        .expect("parking job");
+    let id = match client.submit_raw(sweep).expect("submit sweep") {
+        Submitted::Job(job) => job["id"].as_u64().unwrap(),
+        other => panic!("expected admission, got {other:?}"),
+    };
+
+    let watcher = ServeClient::connect(&daemon.addr).expect("watcher connect");
+    let mut states = Vec::new();
+    watcher
+        .watch_events(id, |ev| {
+            states.push(ev["state"].as_str().unwrap_or("?").to_string());
+        })
+        .expect("event stream");
+    assert_eq!(states.first().map(String::as_str), Some("queued"));
+    assert!(
+        states.iter().any(|s| s == "started"),
+        "missing started: {states:?}"
+    );
+    assert_eq!(states.last().map(String::as_str), Some("done"));
+    // Events arrive seq-ordered and the job JSON agrees.
+    let job = client.job(id).expect("status");
+    assert_eq!(job["state"].as_str(), Some("done"));
+    assert_eq!(
+        job["result"]["points"].as_array().map(Vec::len),
+        Some(2),
+        "{}",
+        job.to_json()
+    );
+    daemon.stop();
+}
+
+#[test]
+fn sweep_results_match_direct_evaluation_bit_for_bit() {
+    let daemon = boot(SchedulerConfig::default());
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    let sweep = r#"{"client":"v","sweep":{"seed":11,"replicas":3,"points":[
+        {"work_s":10000,"n_nodes":640,"mtbf_node_s":15768000,
+         "checkpoint_s":120,"restart_s":300,"interval_s":2700}]}}"#;
+    let job = client.submit_and_wait(sweep, 20).expect("sweep");
+    assert_eq!(job["state"].as_str(), Some("done"));
+    let served = job["result"]["points"][0]["efficiency"]
+        .as_f64()
+        .expect("efficiency");
+    let direct = deep_core::resilience::mean_efficiency(
+        &deep_core::resilience::ResilienceParams {
+            work_s: 10_000.0,
+            n_nodes: 640,
+            mtbf_node_s: 15_768_000.0,
+            checkpoint_s: 120.0,
+            restart_s: 300.0,
+        },
+        2700.0,
+        11,
+        3,
+    );
+    assert_eq!(
+        served.to_bits(),
+        direct.efficiency.to_bits(),
+        "served {served} vs direct {}",
+        direct.efficiency
+    );
+    daemon.stop();
+}
+
+#[test]
+fn fairness_round_robins_between_clients_under_contention() {
+    let daemon = boot(SchedulerConfig {
+        workers: 1,
+        queue_bound: 16,
+        ..SchedulerConfig::default()
+    });
+    let mut submitter = ServeClient::connect(&daemon.addr).expect("connect");
+    // Park the worker so the queue builds deterministically.
+    submitter
+        .submit_raw(r#"{"client":"park","sleep_ms":250}"#)
+        .expect("parking job");
+    let mut greedy_ids = Vec::new();
+    for _ in 0..3 {
+        if let Submitted::Job(job) = submitter
+            .submit_raw(r#"{"client":"greedy","sleep_ms":1}"#)
+            .expect("submit")
+        {
+            greedy_ids.push(job["id"].as_u64().unwrap());
+        }
+    }
+    let modest_id = match submitter
+        .submit_raw(r#"{"client":"modest","sleep_ms":1}"#)
+        .expect("submit")
+    {
+        Submitted::Job(job) => job["id"].as_u64().unwrap(),
+        other => panic!("expected admission, got {other:?}"),
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let wait_done = |client: &mut ServeClient, id: u64| loop {
+        let job = client.job(id).expect("status");
+        if job["state"].as_str() == Some("done") {
+            break job;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let modest = wait_done(&mut submitter, modest_id);
+    let greedy_last = wait_done(&mut submitter, *greedy_ids.last().unwrap());
+    // Round-robin: the modest client's only job (submitted last) must
+    // not wait behind the greedy client's whole backlog.
+    assert!(
+        modest["service_micros"].as_u64().unwrap()
+            < greedy_last["service_micros"].as_u64().unwrap(),
+        "modest {} vs greedy-last {}",
+        modest.to_json(),
+        greedy_last.to_json()
+    );
+    daemon.stop();
+}

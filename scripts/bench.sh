@@ -9,7 +9,16 @@
 #
 # The sweep suite (1-thread vs machine-width pool) and two timed
 # run_experiments passes record the parallel-harness trajectory:
-# sweep_runs_per_sec and suite_wall_seconds at 1 and N threads.
+# sweep_runs_per_sec and suite_wall_seconds at 1 and N threads. The
+# N-thread pass pins RAYON_NUM_THREADS to max(nproc, 2): on a
+# single-core host the default pool is 1 wide, which used to leave
+# suite_wall_seconds_by_threads with only a "1" row and the speedup
+# null — now there is always an N>1 row (time-sliced on one core, so
+# the speedup is honest about the hardware, and bench_report flags it
+# rather than omitting it).
+#
+# serve_bench measures daemon throughput (jobs/s, cached vs uncached)
+# for the report's `serve` block.
 #
 # Usage: scripts/bench.sh [reps]        (e.g. `scripts/bench.sh 5`)
 set -euo pipefail
@@ -28,13 +37,20 @@ for i in $(seq 1 "$REPS"); do
     done
 done
 
-echo "==> experiment suite wall clock (1 thread, then machine width)"
+NT="$(nproc)"
+if [ "$NT" -lt 2 ]; then NT=2; fi
+
+echo "==> experiment suite wall clock (1 thread, then $NT threads)"
 cargo build -q --release -p deep-bench --bin run_experiments
 RAYON_NUM_THREADS=1 ./target/release/run_experiments --quiet \
     --json target/suite_1thread.json
-./target/release/run_experiments --quiet \
+RAYON_NUM_THREADS="$NT" ./target/release/run_experiments --quiet \
     --json target/suite_nthreads.json
+
+echo "==> serve_bench (daemon jobs/s, cached vs uncached)"
+cargo run -q --release -p deep-serve --bin serve_bench > target/serve_bench.json
 
 echo "==> bench_report"
 cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json \
+    --serve target/serve_bench.json \
     target/suite_1thread.json target/suite_nthreads.json
