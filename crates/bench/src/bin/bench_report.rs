@@ -2,11 +2,14 @@
 //! `BENCH_engine.json` report.
 //!
 //! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json]
-//! [--serve serve.json] [suite.json ...]`
+//! [--serve serve.json] [--nproc N] [suite.json ...]`
 //! (defaults: `target/criterion.jsonl`, `BENCH_engine.json`).
 //! Trailing args are `run_experiments --json` outputs; their
 //! `suite_wall_seconds` land in the `experiment_suite` block keyed by
 //! thread count, with the N-vs-1 speedup when both sides are present.
+//! `--nproc` records the host's core count next to that speedup, so a
+//! committed report says what parallel hardware produced it (a 1.0×
+//! "speedup" on a 1-core host is expected, not a regression).
 //! `--serve` takes a `serve_bench` output and lands it in a `serve`
 //! block (daemon jobs/s, cached vs uncached).
 //!
@@ -187,11 +190,14 @@ fn suite_speedup(suites: &[(u64, f64)]) -> Option<f64> {
 
 /// Render the full report as pretty-printed JSON. `suites` holds
 /// (threads, suite_wall_seconds) pairs from `run_experiments --json`;
-/// `serve` holds daemon throughput from `serve_bench`.
+/// `serve` holds daemon throughput from `serve_bench`; `host_nproc`
+/// is the measuring host's core count (`--nproc`, null when not
+/// passed).
 fn render(
     results: &BTreeMap<String, Entry>,
     suites: &[(u64, f64)],
     serve: Option<&ServeStats>,
+    host_nproc: Option<u64>,
 ) -> String {
     let events = results.get("engine/timers/1000").and_then(|e| e.per_sec());
     let transfers = best_rate(results, "fabric/transfers/");
@@ -248,7 +254,9 @@ fn render(
     }
     let _ = writeln!(out, "    }},");
     let speedup_text = suite_speedup(suites).map_or("null".to_string(), |s| format!("{s:.2}"));
-    let _ = writeln!(out, "    \"suite_speedup_vs_1thread\": {speedup_text}");
+    let _ = writeln!(out, "    \"suite_speedup_vs_1thread\": {speedup_text},");
+    let nproc_text = host_nproc.map_or("null".to_string(), |n| n.to_string());
+    let _ = writeln!(out, "    \"host_nproc\": {nproc_text}");
     let _ = writeln!(out, "  }},");
     // Daemon throughput (serve_bench): jobs/s cold vs served from the
     // config-digest cache.
@@ -338,6 +346,7 @@ fn dedupe_suites(suites: &mut Vec<(u64, f64)>) {
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut serve: Option<ServeStats> = None;
+    let mut host_nproc: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--serve" {
@@ -350,6 +359,16 @@ fn main() {
             serve = Some(
                 parse_serve(&text).unwrap_or_else(|| panic!("{path} is not a serve_bench output")),
             );
+        } else if arg == "--nproc" {
+            let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--nproc needs a positive core count");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--nproc needs a positive core count");
+                std::process::exit(2);
+            }
+            host_nproc = Some(n);
         } else {
             positional.push(arg);
         }
@@ -392,7 +411,7 @@ fn main() {
         results.contains_key("engine/timers/1000"),
         "input has no engine/timers/1000 result; did the engine bench run?"
     );
-    let report = render(&results, &suites, serve.as_ref());
+    let report = render(&results, &suites, serve.as_ref(), host_nproc);
     std::fs::write(&output, &report).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     println!("wrote {output} ({} benchmarks)", results.len());
 }
@@ -443,7 +462,7 @@ mod tests {
             "{\"name\":\"mpi/allreduce/8\",\"ns_per_iter\":1000,\"elements\":4}\n",
             "{\"name\":\"ompss/cholesky_graph_build/8\",\"ns_per_iter\":1000,\"elements\":120}\n",
         );
-        let report = render(&collect(text), &[], None);
+        let report = render(&collect(text), &[], None, None);
         // 100000 elements / 5 ms = 20 M events/s; baseline ≈ 8.92 M → 2.24×.
         assert!(report.contains("\"events_per_sec\": 20000000"));
         assert!(report.contains("\"transfers_per_sec\": 2000000"));
@@ -471,7 +490,7 @@ mod tests {
             "{\"name\":\"sweep/mc_multilevel/1thread\",\"ns_per_iter\":64000000,\"elements\":64}\n",
             "{\"name\":\"sweep/mc_multilevel/nthreads\",\"ns_per_iter\":16000000,\"elements\":64}\n",
         );
-        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)], None);
+        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)], None, None);
         // 64 runs / 64 ms = 1000 runs/s single-threaded, 4000 wide.
         assert!(report.contains("\"sweep_runs_per_sec_1thread\": 1000"));
         assert!(report.contains("\"sweep_runs_per_sec_nthreads\": 4000"));
@@ -487,8 +506,23 @@ mod tests {
         dedupe_suites(&mut suites);
         assert_eq!(suites, vec![(1, 6.7), (4, 2.1)]);
 
-        let report = render(&BTreeMap::new(), &suites, None);
+        let report = render(&BTreeMap::new(), &suites, None, None);
         assert_eq!(report.matches("\"1\": ").count(), 1, "{report}");
+    }
+
+    #[test]
+    fn host_nproc_lands_next_to_the_suite_speedup() {
+        let report = render(&BTreeMap::new(), &[(1, 8.4), (4, 2.1)], None, Some(4));
+        assert!(
+            report.contains("\"suite_speedup_vs_1thread\": 4.00,\n    \"host_nproc\": 4"),
+            "{report}"
+        );
+        // Without --nproc the field is an explicit null, not absent —
+        // a committed report always says whether the host was recorded.
+        let report = render(&BTreeMap::new(), &[], None, None);
+        assert!(report.contains("\"host_nproc\": null"), "{report}");
+        // The report stays valid JSON either way.
+        assert!(deep_json::from_str(&report).is_ok(), "{report}");
     }
 
     #[test]
@@ -520,11 +554,11 @@ mod tests {
         let stats = parse_serve(text).unwrap();
         assert_eq!(stats.jobs, 16);
         assert_eq!(stats.cached_service_micros_max, 812);
-        let report = render(&BTreeMap::new(), &[], Some(&stats));
+        let report = render(&BTreeMap::new(), &[], Some(&stats), None);
         assert!(report.contains("\"cached_jobs_per_s\": 640.00"), "{report}");
         assert!(report.contains("\"cache_speedup\": 51.20"), "{report}");
         // Without serve data the section is an explicit null, not absent.
-        let report = render(&BTreeMap::new(), &[], None);
+        let report = render(&BTreeMap::new(), &[], None, None);
         assert!(report.contains("\"serve\": null"), "{report}");
         assert!(parse_serve("{}").is_none());
         assert!(parse_serve("not json").is_none());

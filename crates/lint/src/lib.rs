@@ -61,6 +61,7 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
     if rel.starts_with("crates/bench/src/bin/")
         || rel.starts_with("crates/lint/")
         || rel.starts_with("crates/serve/")
+        || rel.starts_with("crates/scenario/src/bin/")
     {
         return all.without(Rule::AmbientAuthority);
     }
@@ -221,6 +222,12 @@ mod tests {
         assert!(rules_for_path("crates/serve/src/scheduler.rs").has(Rule::UnorderedIter));
         assert!(rules_for_path("crates/core/src/resilience.rs").has(Rule::AmbientAuthority));
         assert!(rules_for_path("crates/bench/src/sweep.rs").has(Rule::AmbientAuthority));
+        // The run_scenario CLI reads argv/files by design; the library
+        // side of the scenario crate stays fully covered.
+        assert!(
+            !rules_for_path("crates/scenario/src/bin/run_scenario.rs").has(Rule::AmbientAuthority)
+        );
+        assert!(rules_for_path("crates/scenario/src/schema.rs").has(Rule::AmbientAuthority));
     }
 
     #[test]

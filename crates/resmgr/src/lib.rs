@@ -109,6 +109,22 @@ impl JobRecord {
     }
 }
 
+/// Instantaneous occupancy snapshot, as returned by
+/// [`ResMgr::gauges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauges {
+    /// Cluster nodes currently allocated to jobs.
+    pub cn_busy: u32,
+    /// Booster nodes currently allocated (static holds included).
+    pub bn_allocated: u32,
+    /// Booster nodes actively inside an offload section.
+    pub bn_active: u32,
+    /// Current cluster-node total, net of failures.
+    pub cn_total: u32,
+    /// Current booster-node total, net of failures.
+    pub bn_total: u32,
+}
+
 /// Aggregate outcome of a workload run.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -656,6 +672,20 @@ impl ResMgr {
     pub fn free(&self) -> (u32, u32) {
         let st = self.state.borrow();
         (st.cn_free, st.bn_free)
+    }
+
+    /// Snapshot the instantaneous occupancy gauges — for external
+    /// utilisation samplers (e.g. trace-replay time series) that need
+    /// more than the aggregate integrals in [`WorkloadReport`].
+    pub fn gauges(&self) -> Gauges {
+        let st = self.state.borrow();
+        Gauges {
+            cn_busy: st.cn_total - st.cn_free,
+            bn_allocated: st.bn_total - st.bn_free,
+            bn_active: st.bn_active,
+            cn_total: st.cn_total,
+            bn_total: st.bn_total,
+        }
     }
 
     /// Build the final report; call after the simulation has drained.

@@ -1,0 +1,110 @@
+//! `run_scenario`: evaluate a declarative scenario file.
+//!
+//! ```text
+//! run_scenario --scenario FILE [--json] [--check] [--cache-dir DIR] [--quiet]
+//! ```
+//!
+//! * `--scenario FILE` — the TOML scenario document (required).
+//! * `--json`          — print the full result JSON (pretty) to
+//!   stdout; the default prints a short human summary.
+//! * `--check`         — validate only: print `ok <digest>` and exit
+//!   without evaluating (exit 2 on an invalid document).
+//! * `--cache-dir DIR` — digest-keyed result cache shared with
+//!   `deep-serve --cache-dir` and `run_experiments --cache-dir`: a
+//!   scenario already evaluated by the daemon is a cache hit here and
+//!   vice versa.
+//! * `--quiet`         — suppress the cache status line on stderr.
+//!
+//! The result is a pure function of the document: byte-identical
+//! output at any `RAYON_NUM_THREADS`, and invariant under key
+//! reordering or reformatting of the TOML (the digest canonicalizes).
+//!
+//! Exit codes: 0 ok, 1 runtime error, 2 bad usage or invalid scenario.
+
+#![forbid(unsafe_code)]
+
+use deep_json::cache::ResultCache;
+use deep_json::object;
+use deep_scenario::Scenario;
+
+fn usage() -> ! {
+    eprintln!("usage: run_scenario --scenario FILE [--json] [--check] [--cache-dir DIR] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut json = false;
+    let mut check = false;
+    let mut quiet = false;
+    let mut cache_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => file = Some(args.next().unwrap_or_else(|| usage())),
+            "--cache-dir" => cache_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--json" => json = true,
+            "--check" => check = true,
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("run_scenario: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let scenario = Scenario::from_toml_str(&text).unwrap_or_else(|e| {
+        eprintln!("run_scenario: {file}: {e}");
+        std::process::exit(2);
+    });
+    let digest = deep_json::digest::digest_hex(&scenario.doc);
+    if check {
+        println!("ok {digest}");
+        return;
+    }
+
+    // Same key shape as the deep-serve job digest for {"scenario": doc},
+    // so daemon and CLI share cache entries.
+    let key = deep_scenario::cache_key(&scenario);
+    let mut cache = cache_dir.as_ref().map(|dir| {
+        ResultCache::with_spill_dir(1024, std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("run_scenario: cache dir {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let (result, cached) = match cache.as_mut().and_then(|c| c.get(key)) {
+        Some(hit) => (hit, true),
+        None => {
+            let value = deep_scenario::execute(&scenario);
+            if let Some(c) = cache.as_mut() {
+                if let Err(e) = c.insert(key, value.clone()) {
+                    eprintln!("run_scenario: cache write failed: {e}");
+                }
+            }
+            (value, false)
+        }
+    };
+    if !quiet && cache_dir.is_some() {
+        eprintln!(
+            "run_scenario: {} ({})",
+            scenario.name,
+            if cached { "cache hit" } else { "evaluated" }
+        );
+    }
+
+    if json {
+        println!("{}", result.to_json_pretty());
+    } else {
+        let points = result["sweep"]["points"].as_u64().unwrap_or(0);
+        let summary = object([
+            ("scenario", scenario.name.as_str().into()),
+            ("digest", digest.as_str().into()),
+            ("sweep_points", points.into()),
+            ("trace", result.get("trace").is_some().into()),
+            ("cache_hit", cached.into()),
+        ]);
+        println!("{}", summary.to_json_pretty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # deep-scenario — declarative scenario DSL
+//!
+//! Runtime-loaded scenario files for the DEEP reproduction: a
+//! dependency-free TOML-subset parser ([`toml`]), a typed schema with
+//! exact validation errors ([`schema`]), compilation into the same
+//! `DeepConfig`/experiment structs the registry binaries use
+//! ([`run`]), and a trace-driven `deep_resmgr` replay ([`trace`]).
+//!
+//! A scenario file declares a machine preset, an app skeleton with
+//! sweep axes, a fault plan, and/or a synthetic job trace:
+//!
+//! ```toml
+//! [scenario]
+//! name = "resilience-example"
+//! seed = 7
+//! replicas = 8
+//!
+//! [machine]
+//! preset = "prototype"
+//!
+//! [app]
+//! skeleton = "resilience"
+//! work_s = 500000.0
+//! mtbf_node_s = 157680000.0
+//! checkpoint_s = 240.0
+//! restart_s = 600.0
+//! intervals = ["daly/4", "daly", "daly*4", 86400.0]
+//!
+//! [[sweep.axes]]
+//! param = "n_nodes"
+//! values = [640, 10000, 100000, 1000000]
+//! ```
+//!
+//! The same document runs three ways, all byte-identical: the
+//! `run_scenario` binary, a `deep-serve` `{"scenario": ...}` job, and
+//! the [`run::execute`] library call. Results are digest-keyed
+//! (`deep_json::digest` of `{"scenario": <doc>}`) into the shared
+//! result cache; the digest is invariant under key order and
+//! formatting, so reformatted copies of a scenario hit the same cache
+//! entry. See `docs/scenario.md` for the full grammar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod schema;
+pub mod toml;
+pub mod trace;
+
+pub use run::{cache_key, execute};
+pub use schema::{
+    AppSpec, FaultSpec, FlapSpec, IntervalSpec, MachineSpec, PoissonSpec, Scenario, SweepAxis,
+    TraceSpec,
+};
+pub use toml::{parse as parse_toml, to_toml};
+pub use trace::{replay, TraceResult, UtilSample};

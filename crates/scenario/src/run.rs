@@ -1,0 +1,243 @@
+//! Scenario execution: compile a validated [`Scenario`] into the same
+//! experiment structs the registry binaries use and evaluate it.
+//!
+//! [`execute`] is the single entry point shared by the `run_scenario`
+//! binary and the `deep-serve` `{"scenario": ...}` job type, so both
+//! paths produce byte-identical JSON for the same document. The result
+//! is a pure function of the scenario — no wall clock, no ambient RNG,
+//! and sweep points are evaluated with `par_sweep` (input-order
+//! results), so output is bit-identical at any `RAYON_NUM_THREADS`.
+
+use deep_core::resilience::{daly_optimum, mean_efficiency, ResilienceParams};
+use deep_faults::plan::{Domain, FaultEvent, FaultKind};
+use deep_json::{object, Value};
+
+use crate::schema::{IntervalSpec, Scenario};
+
+/// The cache key shared by `run_scenario --cache-dir` and the
+/// `deep-serve` result cache: the digest of `{"scenario": <doc>}`,
+/// which matches the daemon's job-spec digest so both populate the
+/// same entries.
+pub fn cache_key(sc: &Scenario) -> u64 {
+    deep_json::digest::digest(&object([("scenario", sc.doc.clone())]))
+}
+
+/// Evaluate the scenario to its result JSON.
+pub fn execute(sc: &Scenario) -> Value {
+    let cfg = sc.machine.config();
+    let mut members: Vec<(String, Value)> = vec![
+        ("scenario".to_string(), sc.name.as_str().into()),
+        ("seed".to_string(), sc.seed.into()),
+        (
+            "digest".to_string(),
+            deep_json::digest::digest_hex(&sc.doc).into(),
+        ),
+        (
+            "machine".to_string(),
+            object([
+                ("preset", sc.machine.preset.as_str().into()),
+                ("n_cluster", u64::from(cfg.n_cluster).into()),
+                ("n_booster", u64::from(cfg.n_booster()).into()),
+                ("n_bi", u64::from(cfg.n_bi).into()),
+                (
+                    "booster_link_error_rate",
+                    cfg.booster_link_error_rate.into(),
+                ),
+            ]),
+        ),
+    ];
+
+    if sc.app.is_some() {
+        members.push(("sweep".to_string(), run_sweep(sc)));
+    }
+
+    let plan = sc.fault_plan();
+    if !plan.is_empty() {
+        let schedule: Vec<Value> = plan.events().iter().map(fault_event_json).collect();
+        members.push((
+            "faults".to_string(),
+            object([
+                ("events", (plan.len() as u64).into()),
+                ("schedule", Value::Array(schedule)),
+            ]),
+        ));
+    }
+
+    if let Some(trace) = &sc.trace {
+        let result = crate::trace::replay(sc.seed, cfg.n_cluster, cfg.n_booster(), trace, &plan);
+        members.push(("trace".to_string(), result.to_json()));
+    }
+
+    Value::Object(members)
+}
+
+/// Evaluate the app skeleton over the sweep cross-product × intervals.
+fn run_sweep(sc: &Scenario) -> Value {
+    let app = sc.app.as_ref().expect("run_sweep requires an app block");
+    let points = sc
+        .sweep_points()
+        .expect("sweep points validated at parse time");
+    // Flatten (point, interval) pairs; `par_sweep` keeps input order,
+    // so rows land grouped by point with intervals in declaration
+    // order — the same nesting the registry experiments use.
+    let units: Vec<(ResilienceParams, IntervalSpec)> = points
+        .iter()
+        .flat_map(|p| app.intervals.iter().map(move |iv| (*p, *iv)))
+        .collect();
+    let rows = deep_bench::sweep::par_sweep(&units, |_, (p, iv)| {
+        let daly = daly_optimum(p);
+        let interval_s = iv.resolve(daly);
+        let me = mean_efficiency(p, interval_s, sc.seed, sc.replicas);
+        object([
+            ("n_nodes", p.n_nodes.into()),
+            ("work_s", p.work_s.into()),
+            ("mtbf_node_s", p.mtbf_node_s.into()),
+            ("checkpoint_s", p.checkpoint_s.into()),
+            ("restart_s", p.restart_s.into()),
+            ("daly_s", daly.into()),
+            ("interval_s", interval_s.into()),
+            ("efficiency", me.efficiency.into()),
+            ("truncated_runs", u64::from(me.truncated_runs).into()),
+        ])
+    });
+    object([
+        ("skeleton", "resilience".into()),
+        ("replicas", u64::from(sc.replicas).into()),
+        ("points", (points.len() as u64).into()),
+        ("rows", Value::Array(rows)),
+    ])
+}
+
+fn domain_name(d: Domain) -> &'static str {
+    match d {
+        Domain::Cluster => "cluster",
+        Domain::Booster => "booster",
+    }
+}
+
+/// A deterministic JSON rendering of one fault event.
+fn fault_event_json(ev: &FaultEvent) -> Value {
+    let at_s = ev.at.as_secs_f64();
+    match &ev.kind {
+        FaultKind::LinkDegrade {
+            domain,
+            error_rate,
+            duration,
+        } => object([
+            ("at_s", at_s.into()),
+            ("kind", "link_degrade".into()),
+            ("domain", domain_name(*domain).into()),
+            ("error_rate", (*error_rate).into()),
+            ("duration_s", duration.as_secs_f64().into()),
+        ]),
+        FaultKind::NicDrop {
+            domain,
+            node,
+            drop_prob,
+            duration,
+        } => object([
+            ("at_s", at_s.into()),
+            ("kind", "nic_drop".into()),
+            ("domain", domain_name(*domain).into()),
+            ("node", u64::from(*node).into()),
+            ("drop_prob", (*drop_prob).into()),
+            ("duration_s", duration.as_secs_f64().into()),
+        ]),
+        FaultKind::NodeCrash {
+            domain,
+            node,
+            severity,
+        } => object([
+            ("at_s", at_s.into()),
+            ("kind", "node_crash".into()),
+            ("domain", domain_name(*domain).into()),
+            ("node", u64::from(*node).into()),
+            (
+                "severity",
+                match severity {
+                    deep_io::ckptlog::FailureSeverity::Transient => "transient",
+                    deep_io::ckptlog::FailureSeverity::NodeLoss => "node",
+                    deep_io::ckptlog::FailureSeverity::MultiNodeLoss => "multi",
+                }
+                .into(),
+            ),
+        ]),
+        FaultKind::BiFail { index, duration } => object([
+            ("at_s", at_s.into()),
+            ("kind", "bi_fail".into()),
+            ("index", (*index as u64).into()),
+            ("duration_s", duration.as_secs_f64().into()),
+        ]),
+        FaultKind::PfsStall { server, bytes } => object([
+            ("at_s", at_s.into()),
+            ("kind", "pfs_stall".into()),
+            ("server", (*server as u64).into()),
+            ("bytes", (*bytes).into()),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_SWEEP: &str = "\
+[scenario]
+name = \"resilience-mini\"
+seed = 7
+replicas = 4
+
+[machine]
+preset = \"small\"
+
+[app]
+skeleton = \"resilience\"
+work_s = 20000.0
+mtbf_node_s = 250000.0
+checkpoint_s = 120.0
+restart_s = 300.0
+intervals = [\"daly/4\", \"daly\", 3600.0]
+
+[[sweep.axes]]
+param = \"n_nodes\"
+values = [64, 256]
+";
+
+    #[test]
+    fn sweep_rows_match_direct_registry_math() {
+        let sc = Scenario::from_toml_str(SMALL_SWEEP).unwrap();
+        let out = execute(&sc);
+        let rows = out["sweep"]["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 6);
+        // Row 4: n_nodes=256, interval=daly — must be bitwise equal to
+        // calling the registry maths directly.
+        let p = ResilienceParams {
+            work_s: 20000.0,
+            n_nodes: 256,
+            mtbf_node_s: 250000.0,
+            checkpoint_s: 120.0,
+            restart_s: 300.0,
+        };
+        let daly = daly_optimum(&p);
+        let expect = mean_efficiency(&p, daly, 7, 4);
+        assert_eq!(rows[4]["efficiency"].as_f64(), Some(expect.efficiency));
+        assert_eq!(rows[4]["interval_s"].as_f64(), Some(daly));
+    }
+
+    #[test]
+    fn execute_is_a_pure_function() {
+        let sc = Scenario::from_toml_str(SMALL_SWEEP).unwrap();
+        assert_eq!(execute(&sc).to_json(), execute(&sc).to_json());
+    }
+
+    #[test]
+    fn cache_key_matches_serve_spec_digest() {
+        let sc = Scenario::from_toml_str(SMALL_SWEEP).unwrap();
+        let spec_json = object([("scenario", sc.doc.clone())]);
+        assert_eq!(
+            cache_key(&sc),
+            deep_json::digest::digest(&spec_json),
+            "run_scenario and deep-serve must share cache entries"
+        );
+    }
+}

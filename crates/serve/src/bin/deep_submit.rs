@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! deep-submit --addr HOST:PORT [--client NAME] [--retries N]
-//!             (--experiment NAME | --sweep-file PATH | --sleep-ms N)
+//!             (--experiment NAME | --sweep-file PATH | --scenario PATH | --sleep-ms N)
 //!             [--watch] [--output-only]
 //! ```
 //!
 //! * `--experiment`  — submit a registered experiment by name.
 //! * `--sweep-file`  — submit the JSON submission body in PATH
 //!   verbatim (explicit sweep configs, or anything the API accepts).
+//! * `--scenario`    — parse the TOML scenario file in PATH and
+//!   submit it as a `{"scenario": ...}` job (validated locally first,
+//!   so schema errors surface before any network traffic).
 //! * `--sleep-ms`    — submit a do-nothing job (ops drills).
 //! * `--client`      — fairness bucket (default `anon`).
 //! * `--retries`     — 429/503 back-off attempts before giving up
@@ -29,7 +32,8 @@ use deep_serve::client::{ServeClient, Submitted};
 fn usage() -> ! {
     eprintln!(
         "usage: deep-submit --addr HOST:PORT [--client NAME] [--retries N] \
-         (--experiment NAME | --sweep-file PATH | --sleep-ms N) [--watch] [--output-only]"
+         (--experiment NAME | --sweep-file PATH | --scenario PATH | --sleep-ms N) \
+         [--watch] [--output-only]"
     );
     std::process::exit(2);
 }
@@ -69,6 +73,14 @@ fn main() {
                 let raw = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
                 body = Some(raw);
+            }
+            "--scenario" => {
+                let path = next("PATH");
+                let raw = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                let scenario = deep_scenario::Scenario::from_toml_str(&raw)
+                    .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+                body = Some(deep_json::object([("scenario", scenario.doc.clone())]).to_json());
             }
             "--sleep-ms" => {
                 let ms: u64 = next("count").parse().unwrap_or_else(|_| usage());

@@ -10,6 +10,11 @@
 //!   explicit resilience-efficiency sweep over
 //!   [`deep_core::resilience::mean_efficiency`]; each point names the
 //!   full `ResilienceParams` plus the checkpoint interval.
+//! * `{"scenario": {...}}` — a declarative scenario document (the
+//!   JSON image of a `deep_scenario` TOML file), validated against the
+//!   full schema at admission and evaluated through
+//!   [`deep_scenario::execute`]; byte-identical to `run_scenario` on
+//!   the same document.
 //! * `{"sleep_ms": n}` — a do-nothing workload (capped at 10 s) for
 //!   tests and operations drills; never cached.
 //!
@@ -175,6 +180,10 @@ pub enum JobSpec {
     Experiment(String),
     /// An explicit resilience sweep.
     Sweep(SweepConfig),
+    /// A declarative scenario document (validated at admission; the
+    /// raw document is kept so the cache digest matches
+    /// `run_scenario`'s byte-for-byte).
+    Scenario(Value),
     /// Sleep (test/ops workload; uncached).
     SleepMs(u64),
 }
@@ -185,6 +194,7 @@ impl JobSpec {
         match self {
             JobSpec::Experiment(name) => object([("experiment", name.as_str().into())]),
             JobSpec::Sweep(cfg) => object([("sweep", cfg.to_json())]),
+            JobSpec::Scenario(doc) => object([("scenario", doc.clone())]),
             JobSpec::SleepMs(ms) => object([("sleep_ms", (*ms).into())]),
         }
     }
@@ -198,7 +208,7 @@ impl JobSpec {
     /// Parse the spec part of a submission (must contain exactly one
     /// of the spec members).
     pub fn from_json(v: &Value) -> Result<JobSpec, String> {
-        let members = ["experiment", "sweep", "sleep_ms"];
+        let members = ["experiment", "sweep", "scenario", "sleep_ms"];
         let present: Vec<&str> = members
             .iter()
             .copied()
@@ -216,6 +226,13 @@ impl JobSpec {
                 Ok(JobSpec::Experiment(name.to_string()))
             }
             ["sweep"] => Ok(JobSpec::Sweep(SweepConfig::from_json(&v["sweep"])?)),
+            ["scenario"] => {
+                let doc = &v["scenario"];
+                // Full schema validation at the trust boundary; the
+                // executor re-parses the (now known-good) document.
+                deep_scenario::Scenario::from_value(doc).map_err(|e| format!("scenario: {e}"))?;
+                Ok(JobSpec::Scenario(doc.clone()))
+            }
             ["sleep_ms"] => {
                 let ms = v
                     .get("sleep_ms")
@@ -224,7 +241,9 @@ impl JobSpec {
                     .ok_or("'sleep_ms' must be an integer <= 10000")?;
                 Ok(JobSpec::SleepMs(ms))
             }
-            [] => Err("job must name one of 'experiment', 'sweep', 'sleep_ms'".to_string()),
+            [] => Err(
+                "job must name one of 'experiment', 'sweep', 'scenario', 'sleep_ms'".to_string(),
+            ),
             _ => Err(format!("job names more than one spec: {present:?}")),
         }
     }

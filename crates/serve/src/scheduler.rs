@@ -579,6 +579,9 @@ fn claim_batch(inner: &Inner, st: &mut State) -> Option<Batch> {
             (points as u32).clamp(1, inner.pool_threads)
         }
         JobSpec::Experiment(_) => inner.pool_threads,
+        // Scenario sweeps parallelise across their points with the
+        // batch's pool, like experiments.
+        JobSpec::Scenario(_) => inner.pool_threads,
         JobSpec::SleepMs(_) => 1,
     };
     let mut demands: Vec<u32> = st.running_demands.iter().map(|&(_, d)| d).collect();
@@ -647,6 +650,27 @@ fn execute_batch(inner: &Inner, batch: Batch) {
                 Err(_) => {
                     finish_job(inner, id, Err(format!("experiment '{name}' panicked")));
                 }
+            }
+        }
+        JobSpec::Scenario(doc) => {
+            let id = batch.members[0].0;
+            let threads = batch.threads;
+            let doc = doc.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Admission already validated the document; re-parse
+                // to obtain the typed form (cheap next to evaluation).
+                deep_scenario::Scenario::from_value(&doc).map(|sc| {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads as usize)
+                        .build()
+                        .expect("pool construction cannot fail for small widths");
+                    pool.install(|| deep_scenario::execute(&sc))
+                })
+            }));
+            match outcome {
+                Ok(Ok(result)) => finish_job(inner, id, Ok(result)),
+                Ok(Err(e)) => finish_job(inner, id, Err(format!("scenario: {e}"))),
+                Err(_) => finish_job(inner, id, Err("scenario evaluation panicked".to_string())),
             }
         }
         JobSpec::SleepMs(ms) => {

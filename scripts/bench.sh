@@ -52,5 +52,5 @@ cargo run -q --release -p deep-serve --bin serve_bench > target/serve_bench.json
 
 echo "==> bench_report"
 cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json \
-    --serve target/serve_bench.json \
+    --serve target/serve_bench.json --nproc "$(nproc)" \
     target/suite_1thread.json target/suite_nthreads.json

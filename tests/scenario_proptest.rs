@@ -1,0 +1,216 @@
+//! Property tests for the scenario DSL's serialization layer:
+//!
+//! 1. `to_toml ∘ parse` is a fixed point — serializing any document the
+//!    parser can produce and reparsing yields the identical [`Value`]
+//!    tree (and therefore the identical canonical digest).
+//! 2. `deep_json::digest` is invariant under member reordering and
+//!    under reformatting of the TOML text (injected comments, blank
+//!    lines, indentation) — the property the daemon/`run_scenario`
+//!    shared result cache relies on.
+//!
+//! The generator builds random scenario-shaped documents: nested
+//! tables, arrays of tables, inline tables, quoted keys, escaped
+//! strings, integer- and float-valued numbers.
+
+use deep_json::Value;
+use deep_scenario::{parse_toml, to_toml};
+use proptest::prelude::*;
+
+/// Key palette: bare keys, keys the serializer must quote (spaces,
+/// quotes, empty), but no dots — a dotted key inside a quoted table
+/// header is ambiguous with a path in this TOML subset.
+const KEYS: &[&str] = &[
+    "alpha",
+    "beta_2",
+    "gamma-ray",
+    "n",
+    "work_s",
+    "axes",
+    "long_key_name",
+    "s p a c e",
+    "quo\"te",
+    "",
+];
+
+/// Characters string values draw from, covering every escape class the
+/// serializer emits (`\" \\ \n \t \r \u00XX`) plus plain text and
+/// multi-byte UTF-8.
+const STRING_CHARS: &[char] = &[
+    'a', 'b', 'z', '0', ' ', '_', '"', '\\', '\n', '\t', '\r', '\u{1}', '#', '[', '=', 'é', '→',
+];
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let len = rng.below(8) as usize;
+    (0..len)
+        .map(|_| STRING_CHARS[rng.below(STRING_CHARS.len() as u64) as usize])
+        .collect()
+}
+
+fn gen_number(rng: &mut TestRng) -> Value {
+    match rng.below(3) {
+        // Integers, underscore-friendly magnitudes included.
+        0 => Value::Number(rng.below(2_000_001) as f64 - 1_000_000.0),
+        // Fractions in unit range.
+        1 => Value::Number((rng.below(1 << 20) as f64) / (1u64 << 20) as f64),
+        // Large/exponent-shaped floats.
+        _ => Value::Number((rng.below(1 << 20) as f64 - 500_000.0) * 1.5e5),
+    }
+}
+
+fn gen_scalar(rng: &mut TestRng) -> Value {
+    match rng.below(3) {
+        0 => Value::Bool(rng.below(2) == 0),
+        1 => gen_number(rng),
+        _ => Value::String(gen_string(rng)),
+    }
+}
+
+/// Distinct keys for one table.
+fn gen_keys(rng: &mut TestRng, max: u64) -> Vec<String> {
+    let n = rng.below(max) as usize;
+    let mut keys: Vec<String> = Vec::new();
+    while keys.len() < n {
+        let k = KEYS[rng.below(KEYS.len() as u64) as usize].to_string();
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+    let pick = if depth >= 3 {
+        rng.below(3)
+    } else {
+        rng.below(6)
+    };
+    match pick {
+        0..=2 => gen_scalar(rng),
+        3 => {
+            // Arrays: scalars, nested arrays, or all-tables (the
+            // serializer turns the latter into `[[path]]` sections).
+            let n = rng.below(4) as usize;
+            let items = match rng.below(3) {
+                0 => (0..n).map(|_| gen_scalar(rng)).collect(),
+                1 => (0..n)
+                    .map(|_| Value::Array((0..rng.below(3)).map(|_| gen_scalar(rng)).collect()))
+                    .collect(),
+                _ => (0..n).map(|_| gen_table(rng, depth + 1)).collect(),
+            };
+            Value::Array(items)
+        }
+        _ => gen_table(rng, depth + 1),
+    }
+}
+
+fn gen_table(rng: &mut TestRng, depth: u32) -> Value {
+    Value::Object(
+        gen_keys(rng, 5)
+            .into_iter()
+            .map(|k| (k, gen_value(rng, depth + 1)))
+            .collect(),
+    )
+}
+
+/// Strategy over random scenario-shaped documents.
+struct ArbDoc;
+
+impl Strategy for ArbDoc {
+    type Value = Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Value {
+        gen_table(rng, 0)
+    }
+}
+
+/// Recursively shuffle object member order (Fisher–Yates on each
+/// table) without touching any value.
+fn shuffle(v: &Value, rng: &mut TestRng) -> Value {
+    match v {
+        Value::Object(kv) => {
+            let mut kv: Vec<(String, Value)> = kv
+                .iter()
+                .map(|(k, v)| (k.clone(), shuffle(v, rng)))
+                .collect();
+            for i in (1..kv.len()).rev() {
+                kv.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            Value::Object(kv)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(|i| shuffle(i, rng)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Reformat serialized TOML without changing its meaning: blank lines,
+/// comments, and indentation sprinkled between statements.
+fn reformat(toml: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for line in toml.lines() {
+        match rng.below(4) {
+            0 => out.push_str("# injected comment\n"),
+            1 => out.push('\n'),
+            _ => {}
+        }
+        if rng.below(3) == 0 {
+            out.push_str("  \t");
+        }
+        out.push_str(line);
+        if rng.below(4) == 0 && !line.is_empty() && !line.ends_with('"') {
+            out.push_str("   # trailing note");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_then_parse_is_a_fixed_point(doc in ArbDoc) {
+        // First trip: the serializer canonicalizes member order (inline
+        // values before subtables, as the grammar forces), so assert
+        // content equality via the order-insensitive digest.
+        let toml = to_toml(&doc).unwrap_or_else(|e| panic!("serialize failed: {e}\n{doc:?}"));
+        let back = parse_toml(&toml)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- doc\n{doc:?}\n--- toml\n{toml}"));
+        prop_assert_eq!(
+            deep_json::digest::digest(&back),
+            deep_json::digest::digest(&doc),
+            "round trip changed the document's content:\n{}",
+            toml
+        );
+        // From then on the trip is an exact fixed point: same bytes
+        // out, identical Value tree back.
+        let again = to_toml(&back).unwrap();
+        prop_assert_eq!(&again, &toml, "serializer must be idempotent after one trip");
+        let back2 = parse_toml(&again).unwrap();
+        prop_assert_eq!(&back2, &back, "parse ∘ to_toml must fix parser-produced documents");
+    }
+
+    #[test]
+    fn digest_is_invariant_under_reordering_and_whitespace(
+        doc in ArbDoc,
+        salt in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::deterministic(&format!("scenario-digest-{salt}"));
+        let want = deep_json::digest::digest(&doc);
+
+        let shuffled = shuffle(&doc, &mut rng);
+        prop_assert_eq!(
+            deep_json::digest::digest(&shuffled),
+            want,
+            "digest must ignore member order"
+        );
+
+        let toml = to_toml(&shuffled).unwrap();
+        let reparsed = parse_toml(&reformat(&toml, &mut rng))
+            .unwrap_or_else(|e| panic!("reformatted document failed to parse: {e}\n{toml}"));
+        prop_assert_eq!(
+            deep_json::digest::digest(&reparsed),
+            want,
+            "digest must ignore whitespace and comments"
+        );
+    }
+}
