@@ -286,7 +286,19 @@ impl Scenario {
             checkpoint_s: app.checkpoint_s,
             restart_s: app.restart_s,
         };
-        let mut points = vec![base];
+        // Bound the cross product from axis cardinalities alone,
+        // before any point vector is allocated: documents arrive from
+        // untrusted daemon peers, and a pair of large `values` axes
+        // must never drive the materialization below.
+        let mut total: usize = 1;
+        for axis in &self.sweep {
+            total = total
+                .checked_mul(axis.values.len())
+                .filter(|&t| t <= 4096)
+                .ok_or_else(|| "sweep: too many points (cross product exceeds 4096)".to_string())?;
+        }
+        let mut points = Vec::with_capacity(total);
+        points.push(base);
         for axis in &self.sweep {
             let mut next = Vec::with_capacity(points.len() * axis.values.len());
             for p in &points {
@@ -304,9 +316,6 @@ impl Scenario {
                 }
             }
             points = next;
-        }
-        if points.len() > 4096 {
-            return Err("sweep: too many points (cross product exceeds 4096)".to_string());
         }
         Ok(points)
     }
@@ -521,6 +530,11 @@ fn parse_app(table: &Value) -> Result<AppSpec, String> {
     let intervals = match table.get("intervals") {
         None => vec![IntervalSpec::DalyTimes(1.0)],
         Some(Value::Array(items)) if !items.is_empty() => {
+            // Bounds the execution-time work-unit vector (sweep points
+            // × intervals) alongside the 4096-point sweep cap.
+            if items.len() > 64 {
+                return Err("app.intervals: must have at most 64 entries".to_string());
+            }
             let mut out = Vec::with_capacity(items.len());
             for item in items {
                 out.push(parse_interval(item)?);
@@ -907,4 +921,78 @@ fn parse_trace(table: &Value) -> Result<TraceSpec, String> {
             Some(_) => return Err("trace.sample_every_s: must be finite and > 0".to_string()),
         },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_json::object;
+
+    /// The daemon validates untrusted documents with
+    /// [`Scenario::from_value`]; axes large enough that their cross
+    /// product would be a multi-terabyte allocation must be rejected
+    /// from cardinalities alone, before any point vector exists.
+    #[test]
+    fn oversized_sweep_is_rejected_before_materialization() {
+        let values: Vec<Value> = (0..1_000_000)
+            .map(|i| Value::Number(i as f64 + 1.0))
+            .collect();
+        let axis = |param: &str| {
+            object([
+                ("param", param.into()),
+                ("values", Value::Array(values.clone())),
+            ])
+        };
+        let doc = object([
+            (
+                "scenario",
+                object([("name", "dos".into()), ("seed", 1u64.into())]),
+            ),
+            ("machine", object([("preset", "small".into())])),
+            (
+                "app",
+                object([
+                    ("skeleton", "resilience".into()),
+                    ("work_s", 1000.0.into()),
+                    ("mtbf_node_s", 100_000.0.into()),
+                    ("checkpoint_s", 10.0.into()),
+                    ("restart_s", 30.0.into()),
+                ]),
+            ),
+            (
+                "sweep",
+                object([(
+                    "axes",
+                    Value::Array(vec![axis("work_s"), axis("mtbf_node_s")]),
+                )]),
+            ),
+        ]);
+        let err = Scenario::from_value(&doc).unwrap_err();
+        assert_eq!(err, "sweep: too many points (cross product exceeds 4096)");
+    }
+
+    #[test]
+    fn intervals_are_capped() {
+        let intervals: Vec<Value> = (0..65).map(|i| Value::Number(i as f64 + 1.0)).collect();
+        let doc = object([
+            (
+                "scenario",
+                object([("name", "caps".into()), ("seed", 1u64.into())]),
+            ),
+            ("machine", object([("preset", "small".into())])),
+            (
+                "app",
+                object([
+                    ("skeleton", "resilience".into()),
+                    ("work_s", 1000.0.into()),
+                    ("mtbf_node_s", 100_000.0.into()),
+                    ("checkpoint_s", 10.0.into()),
+                    ("restart_s", 30.0.into()),
+                    ("intervals", Value::Array(intervals)),
+                ]),
+            ),
+        ]);
+        let err = Scenario::from_value(&doc).unwrap_err();
+        assert_eq!(err, "app.intervals: must have at most 64 entries");
+    }
 }

@@ -418,7 +418,17 @@ impl<'a> Parser<'a> {
         if let Ok(i) = digits.parse::<i64>() {
             return Ok(Value::Number(i as f64));
         }
-        if digits.contains(['.', 'e', 'E']) && !digits.contains("nan") && !digits.contains("inf") {
+        // A digit run beyond i64 range (e.g. "10000000000000000000",
+        // the serializer's rendering of 1e19) is a float: `to_toml`
+        // prints integral f64s without '.' or exponent, so the parser
+        // must take them back for the round-trip fixed point.
+        let body = digits.strip_prefix(['+', '-']).unwrap_or(&digits);
+        let bare_digits = !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit());
+        if bare_digits
+            || (digits.contains(['.', 'e', 'E'])
+                && !digits.contains("nan")
+                && !digits.contains("inf"))
+        {
             if let Ok(f) = digits.parse::<f64>() {
                 if f.is_finite() {
                     return Ok(Value::Number(f));
@@ -664,5 +674,29 @@ mod tests {
         let text = to_toml(&doc).unwrap();
         let back = parse(&text).unwrap();
         assert_eq!(back, doc, "serialized form:\n{text}");
+    }
+
+    #[test]
+    fn over_i64_integral_floats_round_trip() {
+        // The serializer prints these as bare digit runs (Rust's f64
+        // Display never uses exponent form), which overflow i64 — the
+        // parser must still accept them as floats.
+        let doc = object([
+            ("big", 1.0e19.into()),
+            ("neg", (-2.5e20).into()),
+            ("huge", 1.5e300.into()),
+        ]);
+        let text = to_toml(&doc).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc, "serialized form:\n{text}");
+        assert_eq!(
+            parse("x = 10000000000000000000\n").unwrap()["x"].as_f64(),
+            Some(1.0e19)
+        );
+        // Dates and other hyphenated tokens are still rejected.
+        assert_eq!(
+            parse("a = 2020-01-01\n").unwrap_err(),
+            "line 1: invalid value '2020-01-01'"
+        );
     }
 }
