@@ -16,7 +16,13 @@ const REPLICAS: u32 = 64;
 
 fn params() -> MultiLevelParams {
     MultiLevelParams {
-        work_s: 2_000.0,
+        // Large enough that one replica is several ms of simulation —
+        // the scheduler's per-task overhead must be invisible against
+        // the grain, or the nthreads/1thread ratio in BENCH_engine.json
+        // measures pool overhead instead of parallel payoff. (At the
+        // old 2 000 s the whole 64-replica sweep was ~100 µs of work
+        // and the N-thread side lost to fork/join cost.)
+        work_s: 100_000.0,
         n_nodes: 64,
         mtbf_node_s: 40_000.0,
         interval_s: 10.0,

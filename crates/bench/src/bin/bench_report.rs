@@ -6,17 +6,20 @@
 //! (defaults: `target/criterion.jsonl`, `BENCH_engine.json`).
 //! Trailing args are `run_experiments --json` outputs; their
 //! `suite_wall_seconds` land in the `experiment_suite` block keyed by
-//! thread count, with the N-vs-1 speedup when both sides are present.
-//! `--nproc` records the host's core count next to that speedup, so a
-//! committed report says what parallel hardware produced it (a 1.0×
-//! "speedup" on a 1-core host is expected, not a regression).
-//! `--serve` takes a `serve_bench` output and lands it in a `serve`
-//! block (daemon jobs/s, cached vs uncached).
+//! thread count — along with the per-experiment wall-clock profile
+//! (`profile_seconds_by_threads`) — with the N-vs-1 speedup when both
+//! sides are present. `--nproc` records the host's core count next to
+//! that speedup, so a committed report says what parallel hardware
+//! produced it (a 1.0× "speedup" on a 1-core host is expected, not a
+//! regression). `--serve` takes a `serve_bench` output and lands it in
+//! a `serve` block (daemon jobs/s, cached vs uncached).
 //!
-//! Missing or regressed parallelism is *flagged on stderr*, never
-//! silently omitted: no multi-thread suite row → a warning that the
-//! speedup will be null; a multi-thread suite slower than the 1-thread
-//! run → a regression warning.
+//! Missing or regressed parallelism is a **hard failure** on a
+//! multi-core host (`--nproc` ≥ 2): no multi-thread suite row, or a
+//! multi-thread suite slower than the 1-thread run, exits non-zero so
+//! CI cannot publish a report whose headline feature regressed. On a
+//! 1-core host (or without `--nproc`) the same findings are warnings —
+//! there, 1.0× is physics.
 //!
 //! The input is the JSONL stream the vendored criterion shim appends when
 //! `CRITERION_JSON` is set — one line per completed benchmark. Lines may
@@ -132,16 +135,30 @@ fn best_rate(results: &BTreeMap<String, Entry>, prefix: &str) -> Option<f64> {
         .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
 }
 
-/// Parse a `run_experiments --json` file into (threads, suite wall s).
-fn parse_suite(text: &str) -> Option<(u64, f64)> {
-    let threads: u64 = field(text, "\"threads\": ")?.parse().ok()?;
-    let start = text.find("\"suite_wall_seconds\": ")? + "\"suite_wall_seconds\": ".len();
-    let rest = &text[start..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit() && c != '.')
-        .unwrap_or(rest.len());
-    let wall: f64 = rest[..end].parse().ok()?;
-    Some((threads, wall))
+/// One `run_experiments --json` result: thread count, suite wall, and
+/// the per-experiment wall-clock profile.
+#[derive(Debug, Clone, PartialEq)]
+struct SuiteRun {
+    threads: u64,
+    wall: f64,
+    /// (experiment, seconds) in the file's (= registry) order.
+    profile: Vec<(String, f64)>,
+}
+
+/// Parse a `run_experiments --json` file.
+fn parse_suite(text: &str) -> Option<SuiteRun> {
+    let v = deep_json::from_str(text).ok()?;
+    let profile = v
+        .get("experiments")?
+        .as_object()?
+        .iter()
+        .map(|(name, secs)| Some((name.clone(), secs.as_f64()?)))
+        .collect::<Option<Vec<_>>>()?;
+    Some(SuiteRun {
+        threads: v.get("threads")?.as_u64()?,
+        wall: v.get("suite_wall_seconds")?.as_f64()?,
+        profile,
+    })
 }
 
 fn fmt_rate(r: Option<f64>) -> String {
@@ -176,16 +193,51 @@ fn parse_serve(text: &str) -> Option<ServeStats> {
 
 /// N-vs-1 suite speedup: best multi-thread wall against the 1-thread
 /// wall, when both are present.
-fn suite_speedup(suites: &[(u64, f64)]) -> Option<f64> {
-    let wall_1 = suites.iter().find(|(t, _)| *t == 1).map(|&(_, w)| w)?;
+fn suite_speedup(suites: &[SuiteRun]) -> Option<f64> {
+    let wall_1 = suites.iter().find(|s| s.threads == 1).map(|s| s.wall)?;
     let wall_best = suites
         .iter()
-        .filter(|(t, _)| *t > 1)
-        .map(|&(_, w)| w)
+        .filter(|s| s.threads > 1)
+        .map(|s| s.wall)
         .fold(None, |acc: Option<f64>, w| {
             Some(acc.map_or(w, |a| a.min(w)))
         })?;
     (wall_best > 0.0).then(|| wall_1 / wall_best)
+}
+
+/// The parallel-payoff gate. On a multi-core host (`--nproc` ≥ 2) a
+/// suite that runs *slower* wide than serial — or that never ran wide
+/// at all — is a regression in the thing this engine exists to deliver,
+/// so it is a hard error, not a warning to scroll past. On a 1-core
+/// host (or with no `--nproc`) a 1.0× "speedup" is physics, so the same
+/// findings downgrade to warnings.
+///
+/// Returns `Err(message)` when the report must fail.
+fn speedup_gate(suites: &[SuiteRun], host_nproc: Option<u64>) -> Result<(), String> {
+    if suites.is_empty() {
+        return Ok(());
+    }
+    let enforce = host_nproc.is_some_and(|n| n >= 2);
+    let problem = match suite_speedup(suites) {
+        None => Some(
+            "suite_speedup_vs_1thread is null — no multi-thread suite row \
+             (run run_experiments with RAYON_NUM_THREADS > 1)"
+                .to_string(),
+        ),
+        Some(s) if s < 1.0 => Some(format!(
+            "experiment-suite parallel regression: N-thread suite is {s:.2}x \
+             the 1-thread wall (expected >= 1.0)"
+        )),
+        Some(_) => None,
+    };
+    match problem {
+        Some(msg) if enforce => Err(msg),
+        Some(msg) => {
+            eprintln!("WARNING: {msg} (not fatal: host_nproc < 2 or unrecorded)");
+            Ok(())
+        }
+        None => Ok(()),
+    }
 }
 
 /// Render the full report as pretty-printed JSON. `suites` holds
@@ -195,7 +247,7 @@ fn suite_speedup(suites: &[(u64, f64)]) -> Option<f64> {
 /// passed).
 fn render(
     results: &BTreeMap<String, Entry>,
-    suites: &[(u64, f64)],
+    suites: &[SuiteRun],
     serve: Option<&ServeStats>,
     host_nproc: Option<u64>,
 ) -> String {
@@ -248,9 +300,23 @@ fn render(
         fmt_rate(sweep_n)
     );
     let _ = writeln!(out, "    \"suite_wall_seconds_by_threads\": {{");
-    for (i, (threads, wall)) in suites.iter().enumerate() {
+    for (i, s) in suites.iter().enumerate() {
         let comma = if i + 1 < suites.len() { "," } else { "" };
-        let _ = writeln!(out, "      \"{threads}\": {wall:.3}{comma}");
+        let _ = writeln!(out, "      \"{}\": {:.3}{comma}", s.threads, s.wall);
+    }
+    let _ = writeln!(out, "    }},");
+    // Where the time goes: per-experiment wall clock at each measured
+    // thread count, so a committed report shows *which* experiments are
+    // the tail, not just the total (DESIGN.md §12).
+    let _ = writeln!(out, "    \"profile_seconds_by_threads\": {{");
+    for (i, s) in suites.iter().enumerate() {
+        let comma = if i + 1 < suites.len() { "," } else { "" };
+        let _ = writeln!(out, "      \"{}\": {{", s.threads);
+        for (j, (name, secs)) in s.profile.iter().enumerate() {
+            let c = if j + 1 < s.profile.len() { "," } else { "" };
+            let _ = writeln!(out, "        \"{name}\": {secs:.3}{c}");
+        }
+        let _ = writeln!(out, "      }}{comma}");
     }
     let _ = writeln!(out, "    }},");
     let speedup_text = suite_speedup(suites).map_or("null".to_string(), |s| format!("{s:.2}"));
@@ -329,15 +395,15 @@ fn render(
     out
 }
 
-/// Sort (threads, wall) pairs and keep the best wall per thread count.
-/// On a single-core host the "machine width" pass also runs with one
-/// thread, and a repeated key would make the JSON map invalid.
-fn dedupe_suites(suites: &mut Vec<(u64, f64)>) {
-    suites.sort_unstable_by_key(|&(t, _)| t);
-    suites.dedup_by(|&mut (t_later, w_later), &mut (t_kept, ref mut w_kept)| {
-        let dup = t_later == t_kept;
-        if dup && w_later < *w_kept {
-            *w_kept = w_later;
+/// Sort suite runs and keep the best wall per thread count (with its
+/// profile). On a single-core host the "machine width" pass also runs
+/// with one thread, and a repeated key would make the JSON map invalid.
+fn dedupe_suites(suites: &mut Vec<SuiteRun>) {
+    suites.sort_by_key(|s| s.threads);
+    suites.dedup_by(|later, kept| {
+        let dup = later.threads == kept.threads;
+        if dup && later.wall < kept.wall {
+            std::mem::swap(later, kept);
         }
         dup
     });
@@ -380,7 +446,7 @@ fn main() {
     let output = positional
         .next()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let mut suites: Vec<(u64, f64)> = Vec::new();
+    let mut suites: Vec<SuiteRun> = Vec::new();
     for path in positional {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read suite file {path}: {e}"));
@@ -389,20 +455,11 @@ fn main() {
         suites.push(parsed);
     }
     dedupe_suites(&mut suites);
-    // Flag missing or regressed parallelism instead of silently
-    // publishing a null/poor speedup.
-    if !suites.is_empty() {
-        match suite_speedup(&suites) {
-            None => eprintln!(
-                "WARNING: suite_speedup_vs_1thread will be null — no multi-thread \
-                 suite row (run run_experiments with RAYON_NUM_THREADS > 1)"
-            ),
-            Some(s) if s < 0.9 => eprintln!(
-                "WARNING: experiment-suite parallel regression: N-thread suite is \
-                 {s:.2}x the 1-thread wall (expected >= 0.9)"
-            ),
-            Some(_) => {}
-        }
+    // The parallel-payoff gate: on a multi-core host, missing or
+    // regressed parallelism fails the report; see speedup_gate.
+    if let Err(msg) = speedup_gate(&suites, host_nproc) {
+        eprintln!("ERROR: {msg}");
+        std::process::exit(1);
     }
     let text = std::fs::read_to_string(&input)
         .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run scripts/bench.sh first)"));
@@ -475,44 +532,79 @@ mod tests {
         assert!(report.contains("\"suite_speedup_vs_1thread\": null"));
     }
 
+    /// A profile-less suite run, for tests about walls and speedups.
+    fn sr(threads: u64, wall: f64) -> SuiteRun {
+        SuiteRun {
+            threads,
+            wall,
+            profile: Vec::new(),
+        }
+    }
+
     #[test]
-    fn parse_suite_extracts_threads_and_wall() {
-        let text =
-            "{\n  \"threads\": 4,\n  \"suite_wall_seconds\": 2.625000,\n  \"failures\": 0\n}\n";
-        assert_eq!(parse_suite(text), Some((4, 2.625)));
+    fn parse_suite_extracts_threads_wall_and_profile() {
+        let text = "{\n  \"threads\": 4,\n  \"suite_wall_seconds\": 2.625000,\n  \
+                    \"failures\": 0,\n  \"experiments\": {\n    \"a33\": 3.424,\n    \
+                    \"f02\": 0.000\n  }\n}\n";
+        let s = parse_suite(text).unwrap();
+        assert_eq!((s.threads, s.wall), (4, 2.625));
+        assert_eq!(
+            s.profile,
+            vec![("a33".to_string(), 3.424), ("f02".to_string(), 0.0)]
+        );
         assert!(parse_suite("{}").is_none());
     }
 
     #[test]
-    fn report_suite_block_and_speedup() {
+    fn report_suite_block_speedup_and_profile() {
         let text = concat!(
             "{\"name\":\"engine/timers/1000\",\"ns_per_iter\":5000000,\"elements\":100000}\n",
             "{\"name\":\"sweep/mc_multilevel/1thread\",\"ns_per_iter\":64000000,\"elements\":64}\n",
             "{\"name\":\"sweep/mc_multilevel/nthreads\",\"ns_per_iter\":16000000,\"elements\":64}\n",
         );
-        let report = render(&collect(text), &[(1, 8.4), (4, 2.1)], None, None);
+        let mut one = sr(1, 8.4);
+        one.profile = vec![("a33_allreduce_algorithms".to_string(), 3.424)];
+        let report = render(&collect(text), &[one, sr(4, 2.1)], None, None);
         // 64 runs / 64 ms = 1000 runs/s single-threaded, 4000 wide.
         assert!(report.contains("\"sweep_runs_per_sec_1thread\": 1000"));
         assert!(report.contains("\"sweep_runs_per_sec_nthreads\": 4000"));
         assert!(report.contains("\"1\": 8.400"));
         assert!(report.contains("\"4\": 2.100"));
         assert!(report.contains("\"suite_speedup_vs_1thread\": 4.00"));
+        // The per-experiment profile lands under the run's thread count.
+        assert!(
+            report.contains("\"a33_allreduce_algorithms\": 3.424"),
+            "{report}"
+        );
+        assert!(deep_json::from_str(&report).is_ok(), "{report}");
     }
 
     #[test]
     fn duplicate_thread_counts_collapse_to_the_best_wall() {
-        // Single-core host: both bench.sh passes report threads=1.
-        let mut suites = vec![(1, 8.4), (1, 6.7), (4, 2.1), (4, 2.5)];
+        // Single-core host: both bench.sh passes report threads=1. The
+        // kept row's profile must be the *best* run's profile.
+        let mut slow = sr(1, 8.4);
+        slow.profile = vec![("x".to_string(), 8.0)];
+        let mut fast = sr(1, 6.7);
+        fast.profile = vec![("x".to_string(), 6.0)];
+        let mut suites = vec![slow, fast, sr(4, 2.1), sr(4, 2.5)];
         dedupe_suites(&mut suites);
-        assert_eq!(suites, vec![(1, 6.7), (4, 2.1)]);
+        assert_eq!(
+            suites
+                .iter()
+                .map(|s| (s.threads, s.wall))
+                .collect::<Vec<_>>(),
+            vec![(1, 6.7), (4, 2.1)]
+        );
+        assert_eq!(suites[0].profile, vec![("x".to_string(), 6.0)]);
 
         let report = render(&BTreeMap::new(), &suites, None, None);
-        assert_eq!(report.matches("\"1\": ").count(), 1, "{report}");
+        assert_eq!(report.matches("\"1\": 6.700").count(), 1, "{report}");
     }
 
     #[test]
     fn host_nproc_lands_next_to_the_suite_speedup() {
-        let report = render(&BTreeMap::new(), &[(1, 8.4), (4, 2.1)], None, Some(4));
+        let report = render(&BTreeMap::new(), &[sr(1, 8.4), sr(4, 2.1)], None, Some(4));
         assert!(
             report.contains("\"suite_speedup_vs_1thread\": 4.00,\n    \"host_nproc\": 4"),
             "{report}"
@@ -528,16 +620,33 @@ mod tests {
     #[test]
     fn suite_speedup_requires_both_sides() {
         assert_eq!(suite_speedup(&[]), None);
-        assert_eq!(suite_speedup(&[(1, 8.4)]), None, "no multi-thread row");
-        assert_eq!(suite_speedup(&[(2, 4.2)]), None, "no 1-thread row");
-        let s = suite_speedup(&[(1, 8.4), (2, 4.2)]).unwrap();
+        assert_eq!(suite_speedup(&[sr(1, 8.4)]), None, "no multi-thread row");
+        assert_eq!(suite_speedup(&[sr(2, 4.2)]), None, "no 1-thread row");
+        let s = suite_speedup(&[sr(1, 8.4), sr(2, 4.2)]).unwrap();
         assert!((s - 2.0).abs() < 1e-9);
         // Best multi-thread wall wins.
-        let s = suite_speedup(&[(1, 8.4), (2, 4.2), (4, 2.1)]).unwrap();
+        let s = suite_speedup(&[sr(1, 8.4), sr(2, 4.2), sr(4, 2.1)]).unwrap();
         assert!((s - 4.0).abs() < 1e-9);
         // A regression (slower than 1 thread) still reports honestly.
-        let s = suite_speedup(&[(1, 2.0), (2, 4.0)]).unwrap();
+        let s = suite_speedup(&[sr(1, 2.0), sr(2, 4.0)]).unwrap();
         assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_fails_on_multicore_regression_or_missing_row() {
+        // Multi-core host + regression → hard error.
+        assert!(speedup_gate(&[sr(1, 2.0), sr(4, 4.0)], Some(4)).is_err());
+        // Multi-core host + no multi-thread row → hard error.
+        assert!(speedup_gate(&[sr(1, 2.0)], Some(4)).is_err());
+        // Multi-core host + real speedup → pass.
+        assert!(speedup_gate(&[sr(1, 8.0), sr(4, 2.0)], Some(4)).is_ok());
+        // 1-core host: the same regression is a warning, not a failure.
+        assert!(speedup_gate(&[sr(1, 2.0), sr(4, 4.0)], Some(1)).is_ok());
+        assert!(speedup_gate(&[sr(1, 2.0)], Some(1)).is_ok());
+        // No --nproc recorded: warn-only (can't claim the host is wide).
+        assert!(speedup_gate(&[sr(1, 2.0), sr(4, 4.0)], None).is_ok());
+        // No suite files at all: nothing to gate.
+        assert!(speedup_gate(&[], Some(4)).is_ok());
     }
 
     #[test]

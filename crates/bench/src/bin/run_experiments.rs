@@ -148,11 +148,21 @@ fn main() {
             .collect(),
     };
 
+    // Execution order is heaviest-first (LPT list scheduling on the
+    // registry's static weights) and every experiment is its own leaf
+    // (`with_max_len(1)`), so the expensive experiments are in flight
+    // from t=0 and individually stealable instead of queueing behind a
+    // leaf-mate or starting last and becoming the suite's Amdahl tail.
+    // Output stays in registry order: results scatter back into
+    // registry-indexed slots below.
+    let mut order: Vec<usize> = (0..selected.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(selected[i].weight));
     let threads = rayon::current_num_threads();
     let t0 = Instant::now();
-    let outcomes: Vec<Outcome> = (0..selected.len())
-        .into_par_iter()
-        .map(|i| match &cached[i] {
+    let by_order: Vec<Outcome> = order
+        .par_iter()
+        .with_max_len(1)
+        .map(|&i| match &cached[i] {
             Some(output) => Outcome {
                 name: selected[i].name,
                 result: Ok(output.clone()),
@@ -163,6 +173,14 @@ fn main() {
         })
         .collect();
     let suite_wall = t0.elapsed().as_secs_f64();
+    let mut slots: Vec<Option<Outcome>> = (0..selected.len()).map(|_| None).collect();
+    for (k, outcome) in by_order.into_iter().enumerate() {
+        slots[order[k]] = Some(outcome);
+    }
+    let outcomes: Vec<Outcome> = slots
+        .into_iter()
+        .map(|s| s.expect("every slot ran"))
+        .collect();
 
     if let Some(cache) = cache.as_mut() {
         for o in outcomes.iter().filter(|o| !o.cached) {

@@ -65,9 +65,14 @@ pub fn run(out: &mut String) {
             "cp bound",
         ],
     );
-    // Copy-able case descriptors (graphs are built inside the worker
-    // closure) so the cases fan out across the pool; each case also
-    // joins its two policy runs. Rows come back in case order.
+    // Flattened (case × policy) work-unit grid (EXPERIMENTS.md
+    // convention): 10 independent simulations, each individually
+    // stealable, instead of 5 cases that each hide an internal
+    // `rayon::join` fighting the outer sweep for workers. Each unit
+    // builds its own graph, so `run_case` is a pure function of
+    // `(workload, workers, policy)` and the rows — assembled
+    // sequentially by pairing each case's two policy units — are
+    // identical at any thread count.
     #[derive(Clone, Copy)]
     enum Workload {
         Cholesky(usize),
@@ -84,22 +89,28 @@ pub fn run(out: &mut String) {
         ("chain+swarm", Workload::ChainSwarm, 4),
         ("chain+swarm", Workload::ChainSwarm, 8),
     ];
-    let rows = crate::sweep::par_sweep(&cases, |_, &(name, wl, workers)| {
-        let ((fifo, cp_bound), (cpf, _)) = rayon::join(
-            || run_case(build(wl), workers, SchedPolicy::Fifo),
-            || run_case(build(wl), workers, SchedPolicy::CriticalPathFirst),
-        );
-        [
+    let units: Vec<(Workload, u32, SchedPolicy)> = cases
+        .iter()
+        .flat_map(|&(_, wl, workers)| {
+            [SchedPolicy::Fifo, SchedPolicy::CriticalPathFirst]
+                .into_iter()
+                .map(move |policy| (wl, workers, policy))
+        })
+        .collect();
+    let runs = crate::sweep::par_sweep(&units, |_, &(wl, workers, policy)| {
+        run_case(build(wl), workers, policy)
+    });
+    for (case_idx, &(name, _, workers)) in cases.iter().enumerate() {
+        let (fifo, cp_bound) = runs[case_idx * 2];
+        let (cpf, _) = runs[case_idx * 2 + 1];
+        t.row(&[
             name.into(),
             workers.to_string(),
             fmt_f(fifo * 1e6),
             fmt_f(cpf * 1e6),
             format!("{:.2}x", fifo / cpf),
             fmt_f(cp_bound * 1e6),
-        ]
-    });
-    for row in &rows {
-        t.row(row);
+        ]);
     }
     t.write_into(out);
     let _ = writeln!(

@@ -56,9 +56,14 @@ pub fn run(out: &mut String) {
             "byte imbalance (max/mean)",
         ],
     );
-    // Flatten the (BIs × policy) grid into independent sweep cases; the
-    // per-case seed average folds in seed order, so the table is
-    // identical at any thread count.
+    // Fully flattened (BIs × policy × seed) work-unit grid
+    // (EXPERIMENTS.md convention): every unit is one independent
+    // simulation, individually stealable, instead of 6 cases each
+    // hiding a serial 3-seed loop. The per-case seed average folds in
+    // seed order afterwards, so the table is identical at any thread
+    // count — and to the pre-flattening nested form, since `run_mix` is
+    // a pure function of `(policy, n_bi, seed)`.
+    const SEEDS: u64 = 3;
     let mut cases: Vec<(u32, &str, BiSelect)> = Vec::new();
     for n_bi in [2u32, 4, 8] {
         for (name, sel) in [
@@ -68,24 +73,25 @@ pub fn run(out: &mut String) {
             cases.push((n_bi, name, sel));
         }
     }
-    let rows = crate::sweep::par_sweep(&cases, |_, &(n_bi, name, sel)| {
-        // Average over 3 flow layouts.
+    let units: Vec<(u32, BiSelect, u64)> = cases
+        .iter()
+        .flat_map(|&(n_bi, _, sel)| (1..=SEEDS).map(move |seed| (n_bi, sel, seed)))
+        .collect();
+    let mixes = crate::sweep::par_sweep(&units, |_, &(n_bi, sel, seed)| run_mix(sel, n_bi, seed));
+    for (case_idx, &(n_bi, name, _)) in cases.iter().enumerate() {
+        // Average over the 3 flow layouts, in seed order.
         let mut time = 0.0;
         let mut imb = 0.0;
-        for seed in 1..=3u64 {
-            let (t_, i_) = run_mix(sel, n_bi, seed);
+        for &(t_, i_) in &mixes[case_idx * SEEDS as usize..(case_idx + 1) * SEEDS as usize] {
             time += t_;
             imb += i_;
         }
-        [
+        t.row(&[
             n_bi.to_string(),
             name.into(),
             fmt_f(time / 3.0 * 1e3),
             fmt_f(imb / 3.0),
-        ]
-    });
-    for row in &rows {
-        t.row(row);
+        ]);
     }
     t.write_into(out);
     let _ = writeln!(

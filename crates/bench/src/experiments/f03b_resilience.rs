@@ -6,7 +6,9 @@
 
 use std::fmt::Write as _;
 
-use deep_core::{daly_optimum, fmt_f, mean_efficiency, ResilienceParams, Table};
+use deep_core::{
+    daly_optimum, fmt_f, mean_efficiency_batch, MeanEfficiency, ResilienceParams, Table,
+};
 
 pub fn run(out: &mut String) {
     let base = ResilienceParams {
@@ -31,38 +33,49 @@ pub fn run(out: &mut String) {
             "eff @ 24 h",
         ],
     );
-    // Machine sizes are independent sweep points; par_sweep returns the
-    // rows in input order, so the table is identical at any thread
-    // count (the replicas inside mean_efficiency fan out too).
+    // Flattened work-unit grid (EXPERIMENTS.md convention): instead of
+    // a 4-point sweep each nesting its own replica fan-outs, build all
+    // (machine size × interval) cases up front and hand the batch API
+    // one 16-case × 8-replica grid — 128 stealable units. Replica RNG
+    // streams depend only on the replica index, so each batch element
+    // is bit-identical to the per-case `mean_efficiency` call it
+    // replaces; rows assemble sequentially in input order afterwards.
     let node_counts = [640u64, 10_000, 100_000, 1_000_000];
-    let rows = crate::sweep::par_sweep(&node_counts, |_, &nodes| {
+    const INTERVALS_PER_SIZE: usize = 4;
+    let mut cases = Vec::with_capacity(node_counts.len() * INTERVALS_PER_SIZE);
+    for &nodes in &node_counts {
         let p = ResilienceParams {
             n_nodes: nodes,
             ..base
         };
         let daly = daly_optimum(&p);
-        // Truncated replicas (configurations that cannot finish their
-        // work within the simulator's wall cap) are flagged with "!".
-        let eff = |interval: f64| {
-            let m = mean_efficiency(&p, interval, 7, 8);
-            if m.truncated_runs > 0 {
-                format!("{}!", fmt_f(m.efficiency))
-            } else {
-                fmt_f(m.efficiency)
-            }
-        };
-        [
+        for interval in [daly / 4.0, daly, daly * 4.0, 24.0 * 3600.0] {
+            cases.push((p, interval));
+        }
+    }
+    let means = mean_efficiency_batch(&cases, 7, 8);
+    // Truncated replicas (configurations that cannot finish their work
+    // within the simulator's wall cap) are flagged with "!".
+    let eff = |m: &MeanEfficiency| {
+        if m.truncated_runs > 0 {
+            format!("{}!", fmt_f(m.efficiency))
+        } else {
+            fmt_f(m.efficiency)
+        }
+    };
+    for (row_idx, &nodes) in node_counts.iter().enumerate() {
+        let p = cases[row_idx * INTERVALS_PER_SIZE].0;
+        let daly = daly_optimum(&p);
+        let m = &means[row_idx * INTERVALS_PER_SIZE..(row_idx + 1) * INTERVALS_PER_SIZE];
+        t.row(&[
             nodes.to_string(),
             fmt_f(p.mtbf_node_s / nodes as f64 / 3600.0),
             fmt_f(daly / 60.0),
-            eff(daly / 4.0),
-            eff(daly),
-            eff(daly * 4.0),
-            eff(24.0 * 3600.0),
-        ]
-    });
-    for row in &rows {
-        t.row(row);
+            eff(&m[0]),
+            eff(&m[1]),
+            eff(&m[2]),
+            eff(&m[3]),
+        ]);
     }
     t.write_into(out);
     let _ = writeln!(

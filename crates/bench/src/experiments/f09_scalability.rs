@@ -96,34 +96,39 @@ pub fn run(out: &mut String) {
             "complex eff (DES)",
         ],
     );
+    // The six single-threaded DES runs dominate this experiment's wall
+    // time — they used to hide pairwise inside `rayon::join`s nested
+    // under a 9-point sweep, leaving the largest (64-rank) pair as an
+    // Amdahl tail. Flatten them onto one (point × class) work-unit grid
+    // (EXPERIMENTS.md convention) so all six independent simulations
+    // are stealable at once; the closed-form analytic rows assemble
+    // sequentially afterwards, so the table bytes never depend on the
+    // thread count.
     let des_points = [4u32, 16, 64];
-    // Each rank count is an independent point — the three DES pairs are
-    // the expensive part and overlap across the pool; rows come back in
-    // sweep order so the table bytes never depend on the thread count.
+    let des_units: Vec<(u32, bool)> = des_points
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let des_effs = crate::sweep::par_sweep(&des_units, |_, &(n, complex)| {
+        let base = if complex { base_cplx } else { base_spmv };
+        base / des_iter(n, complex)
+    });
     let exps = [2u32, 4, 6, 8, 10, 12, 14, 16, 18];
-    let rows = crate::sweep::par_sweep(&exps, |_, &exp| {
+    for &exp in &exps {
         let n = 1u64 << exp;
         let spmv_eff = base_spmv / spmv_iter_analytic(&m, n).as_secs_f64();
         let cplx_eff = base_cplx / complex_iter_analytic(&m, n).as_secs_f64();
-        let (spmv_des, cplx_des) = if des_points.contains(&(n as u32)) {
-            let (s, c) = rayon::join(
-                || base_spmv / des_iter(n as u32, false),
-                || base_cplx / des_iter(n as u32, true),
-            );
-            (fmt_f(s), fmt_f(c))
-        } else {
-            ("-".into(), "-".into())
+        let (spmv_des, cplx_des) = match des_points.iter().position(|&d| d as u64 == n) {
+            Some(i) => (fmt_f(des_effs[i * 2]), fmt_f(des_effs[i * 2 + 1])),
+            None => ("-".into(), "-".into()),
         };
-        [
+        t.row(&[
             n.to_string(),
             fmt_f(spmv_eff),
             spmv_des,
             fmt_f(cplx_eff),
             cplx_des,
-        ]
-    });
-    for row in &rows {
-        t.row(row);
+        ]);
     }
     t.write_into(out);
 

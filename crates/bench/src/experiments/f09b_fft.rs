@@ -51,11 +51,27 @@ pub fn run(out: &mut String) {
             "CG speedup",
         ],
     );
+    // The ten single-threaded DES kernel runs (5 rank counts × {FFT,
+    // CG}) are this experiment's entire cost — run them as one flat
+    // work-unit grid (EXPERIMENTS.md convention) instead of a serial
+    // loop, then assemble rows (and the ranks=1 speedup baselines)
+    // sequentially from the index-ordered results.
+    let rank_counts = [1u32, 2, 4, 8, 16];
+    let units: Vec<(u32, bool)> = rank_counts
+        .iter()
+        .flat_map(|&ranks| [(ranks, false), (ranks, true)])
+        .collect();
+    let comm_ns = crate::sweep::par_sweep(&units, |_, &(ranks, cg)| {
+        if cg {
+            run_cg_ideal(1, ranks, cg_n, cg_n, cg_iters, 1e-12).1
+        } else {
+            run_fft_ideal(1, ranks, fft_n).1
+        }
+    });
     let mut fft_base = None;
     let mut cg_base = None;
-    for ranks in [1u32, 2, 4, 8, 16] {
-        let (_, fft_comm_ns) = run_fft_ideal(1, ranks, fft_n);
-        let (_, cg_comm_ns) = run_cg_ideal(1, ranks, cg_n, cg_n, cg_iters, 1e-12);
+    for (i, &ranks) in rank_counts.iter().enumerate() {
+        let (fft_comm_ns, cg_comm_ns) = (comm_ns[i * 2], comm_ns[i * 2 + 1]);
         let fft_total = compute_s(fft_flops, ranks) + fft_comm_ns as f64 / 1e9;
         let cg_total = compute_s(cg_flops, ranks) + cg_comm_ns as f64 / 1e9;
         let fb = *fft_base.get_or_insert(fft_total);

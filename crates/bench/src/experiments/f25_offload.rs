@@ -82,9 +82,14 @@ pub fn run(out: &mut String) {
             "slowdown vs coarsest",
         ],
     );
+    // Seven independent DES points — one flat work-unit grid
+    // (EXPERIMENTS.md convention) instead of a serial loop; the
+    // coarsest-invocation baseline folds in afterwards from the
+    // index-ordered results.
+    let ks = [1u32, 4, 16, 64, 256, 1024, 4096];
+    let runs = crate::sweep::par_sweep(&ks, |_, &k| granularity_run(k));
     let mut baseline = None;
-    for k in [1u32, 4, 16, 64, 256, 1024, 4096] {
-        let (dt, msgs) = granularity_run(k);
+    for (&k, &(dt, msgs)) in ks.iter().zip(&runs) {
         let base = *baseline.get_or_insert(dt);
         t.row(&[
             k.to_string(),

@@ -46,6 +46,15 @@ pub struct Experiment {
     pub name: &'static str,
     /// Render the experiment's full stdout into `out`.
     pub run: fn(&mut String),
+    /// Static relative cost (≈ milliseconds of 1-thread wall on the
+    /// reference host, minimum 1 — see the DESIGN.md §12 profile
+    /// table). The suite driver starts experiments in descending weight
+    /// (LPT order) so the heavy ones are in flight from t=0 instead of
+    /// becoming the tail behind two dozen sub-millisecond table
+    /// renders; output stays in registry order regardless. An estimate,
+    /// not a measurement — only the *ordering* matters, and only
+    /// coarsely.
+    pub weight: u32,
 }
 
 /// Every experiment, in registry (= alphabetical = docs) order.
@@ -53,106 +62,132 @@ pub const ALL: &[Experiment] = &[
     Experiment {
         name: "a30_scheduler_ablation",
         run: a30_scheduler_ablation::run,
+        weight: 15,
     },
     Experiment {
         name: "a31_bi_selection",
         run: a31_bi_selection::run,
+        weight: 7,
     },
     Experiment {
         name: "a32_eager_threshold",
         run: a32_eager_threshold::run,
+        weight: 18,
     },
     Experiment {
         name: "a33_allreduce_algorithms",
         run: a33_allreduce_algorithms::run,
+        weight: 3400,
     },
     Experiment {
         name: "er01_checkpoint_levels",
         run: er01_checkpoint_levels::run,
+        weight: 2,
     },
     Experiment {
         name: "er02_io_patterns",
         run: er02_io_patterns::run,
+        weight: 2,
     },
     Experiment {
         name: "er03_fault_sweep",
         run: er03_fault_sweep::run,
+        weight: 12,
     },
     Experiment {
         name: "f02_evolution",
         run: f02_evolution::run,
+        weight: 1,
     },
     Experiment {
         name: "f03_exascale",
         run: f03_exascale::run,
+        weight: 1,
     },
     Experiment {
         name: "f03b_resilience",
         run: f03b_resilience::run,
+        weight: 140,
     },
     Experiment {
         name: "f05_rationale",
         run: f05_rationale::run,
+        weight: 1,
     },
     Experiment {
         name: "f06_accel_cluster",
         run: f06_accel_cluster::run,
+        weight: 1,
     },
     Experiment {
         name: "f08_direct_fabric",
         run: f08_direct_fabric::run,
+        weight: 1,
     },
     Experiment {
         name: "f09_scalability",
         run: f09_scalability::run,
+        weight: 90,
     },
     Experiment {
         name: "f09b_fft",
         run: f09b_fft::run,
+        weight: 2250,
     },
     Experiment {
         name: "f10_cluster_booster",
         run: f10_cluster_booster::run,
+        weight: 66,
     },
     Experiment {
         name: "f14_architecture",
         run: f14_architecture::run,
+        weight: 1,
     },
     Experiment {
         name: "f15_energy",
         run: f15_energy::run,
+        weight: 1,
     },
     Experiment {
         name: "f16_extoll",
         run: f16_extoll::run,
+        weight: 1,
     },
     Experiment {
         name: "f18_positioning",
         run: f18_positioning::run,
+        weight: 1,
     },
     Experiment {
         name: "f21_spawn",
         run: f21_spawn::run,
+        weight: 6,
     },
     Experiment {
         name: "f22_resmgr",
         run: f22_resmgr::run,
+        weight: 10,
     },
     Experiment {
         name: "f23_cholesky",
         run: f23_cholesky::run,
+        weight: 70,
     },
     Experiment {
         name: "f23b_dcholesky",
         run: f23b_dcholesky::run,
+        weight: 1000,
     },
     Experiment {
         name: "f25_offload",
         run: f25_offload::run,
+        weight: 350,
     },
     Experiment {
         name: "f29_global_mpi",
         run: f29_global_mpi::run,
+        weight: 2,
     },
 ];
 
@@ -195,6 +230,18 @@ mod tests {
     fn registry_is_sorted_and_unique() {
         for w in ALL.windows(2) {
             assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn weights_are_positive_and_heavy_tail_is_marked() {
+        for e in ALL {
+            assert!(e.weight >= 1, "{} needs weight >= 1", e.name);
+        }
+        // The known suite tail must outrank every sub-ms experiment, or
+        // LPT ordering degenerates back to alphabetical.
+        for heavy in ["a33_allreduce_algorithms", "f09b_fft", "f23b_dcholesky"] {
+            assert!(find(heavy).unwrap().weight >= 1000, "{heavy} is the tail");
         }
     }
 

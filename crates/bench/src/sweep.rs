@@ -21,6 +21,14 @@ use rayon::prelude::*;
 /// Evaluate `f` at every point, in parallel; results are returned in
 /// input order. `f` gets the point's index alongside the point so it
 /// can derive a per-point RNG stream.
+///
+/// Sweep points are *coarse* work units — whole simulations or table
+/// rows, micro- to milliseconds each — so the leaf size is capped at 1:
+/// every point is individually stealable. Under the default adaptive
+/// threshold a short sweep (e.g. 26 experiments on 8 threads) would get
+/// leaves of 3–4 points, serializing heavy neighbours behind each other
+/// while other workers idle. The cap changes scheduling granularity
+/// only, never result order (see `vendor/rayon`'s `with_max_len`).
 pub fn par_sweep<P, R, F>(points: &[P], f: F) -> Vec<R>
 where
     P: Sync,
@@ -29,6 +37,7 @@ where
 {
     (0..points.len())
         .into_par_iter()
+        .with_max_len(1)
         .map(|i| f(i, &points[i]))
         .collect()
 }

@@ -153,7 +153,11 @@ pub fn mean_efficiency(
 }
 
 /// Fold per-replica outcomes into a mean, in replica-index order.
-fn reduce_outcomes(outcomes: &[ResilienceOutcome], replicas: u32) -> MeanEfficiency {
+///
+/// Public so flattened (case × replica) drivers (e.g.
+/// `deep_faults::sweep::fault_sweep`) can reduce their own replica
+/// chunks with bitwise the same accumulation this module uses.
+pub fn reduce_outcomes(outcomes: &[ResilienceOutcome], replicas: u32) -> MeanEfficiency {
     let mut total = 0.0;
     let mut truncated_runs = 0;
     for out in outcomes {
@@ -164,6 +168,62 @@ fn reduce_outcomes(outcomes: &[ResilienceOutcome], replicas: u32) -> MeanEfficie
         efficiency: total / replicas as f64,
         truncated_runs,
     }
+}
+
+/// Mean efficiency for a whole batch of `(params, interval)` cases,
+/// flattened onto one (case × replica) work-unit grid.
+///
+/// Bit-identical to calling [`mean_efficiency`] per case: replica `r`'s
+/// RNG stream (`0xC4E0 + r`) depends only on `r`, never on the case
+/// index, and each case's chunk is reduced in replica order with the
+/// same fold. What changes is *scheduling*: one flat grid of
+/// `cases × replicas` units gives the pool real grain to steal instead
+/// of `cases` nested drives each fanning out `replicas` tiny jobs —
+/// this is the nested-parallelism rule of DESIGN.md §12.
+pub fn mean_efficiency_batch(
+    cases: &[(ResilienceParams, f64)],
+    seed: u64,
+    replicas: u32,
+) -> Vec<MeanEfficiency> {
+    assert!(replicas > 0, "at least one replica per case");
+    let rep = replicas as usize;
+    let outcomes: Vec<ResilienceOutcome> = (0..cases.len() * rep)
+        .into_par_iter()
+        .map(|u| {
+            let (p, interval_s) = &cases[u / rep];
+            let r = (u % rep) as u64;
+            let mut rng = SimRng::from_seed_stream(seed, 0xC4E0 + r);
+            simulate_run(p, *interval_s, &mut rng)
+        })
+        .collect();
+    outcomes
+        .chunks_exact(rep)
+        .map(|chunk| reduce_outcomes(chunk, replicas))
+        .collect()
+}
+
+/// Batch form of [`mean_multilevel_efficiency`] over one flattened
+/// (case × replica) grid; see [`mean_efficiency_batch`] for why this is
+/// bit-identical to the per-case calls.
+pub fn mean_multilevel_efficiency_batch(
+    cases: &[MultiLevelParams],
+    seed: u64,
+    replicas: u32,
+) -> Vec<MeanEfficiency> {
+    assert!(replicas > 0, "at least one replica per case");
+    let rep = replicas as usize;
+    let outcomes: Vec<ResilienceOutcome> = (0..cases.len() * rep)
+        .into_par_iter()
+        .map(|u| {
+            let r = (u % rep) as u64;
+            let mut rng = SimRng::from_seed_stream(seed, 0xE401 + r);
+            simulate_multilevel(&cases[u / rep], &mut rng)
+        })
+        .collect();
+    outcomes
+        .chunks_exact(rep)
+        .map(|chunk| reduce_outcomes(chunk, replicas))
+        .collect()
 }
 
 // ---------------------------------------------------------------------

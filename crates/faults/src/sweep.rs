@@ -16,8 +16,8 @@
 //! range of node MTBFs — experiment ER03.
 
 use deep_core::{
-    mark_of, mean_multilevel_efficiency, measure_level_costs, DeepConfig, DeepMachine,
-    MeanEfficiency, MultiLevelParams, ResilienceOutcome,
+    mark_of, measure_level_costs, DeepConfig, DeepMachine, MeanEfficiency, MultiLevelParams,
+    ResilienceOutcome,
 };
 use deep_simkit::{Either, SimDuration, SimRng, Simulation};
 use rayon::prelude::*;
@@ -173,28 +173,54 @@ pub fn fault_sweep(
     seed: u64,
     replicas: u32,
 ) -> Vec<SweepPoint> {
+    assert!(replicas > 0, "at least one replica per sweep point");
     let costs = measure_level_costs(config, ranks, bytes_per_rank, seed);
-    // Sweep points are independent; par_iter keeps them in index order.
-    // Nested parallelism (replicas inside each point) is handled by the
-    // pool's work stealing.
-    mtbfs_node_s
-        .par_iter()
+    let params: Vec<MultiLevelParams> = mtbfs_node_s
+        .iter()
         .map(|&mtbf_node_s| {
             let mut p = *base;
             p.levels = costs;
             p.mtbf_node_s = mtbf_node_s;
-            SweepPoint {
-                mtbf_node_s,
-                des: des_mean_multilevel_efficiency(
-                    config,
-                    ranks,
-                    bytes_per_rank,
-                    &p,
-                    seed,
-                    replicas,
-                ),
-                mc: mean_multilevel_efficiency(&p, seed, replicas),
-            }
+            p
+        })
+        .collect();
+
+    // One flat (point × replica) grid of whole-DES work units instead
+    // of nested drives (points outside, replicas inside): every unit is
+    // an independent simulation and, with the leaf cap at 1, is
+    // individually stealable — no point can become a serial tail while
+    // other workers idle. Bit-identity with the nested form is by
+    // construction: replica `r`'s stream is `0xE401 + r` regardless of
+    // its point, results land in index-ordered slots, and each point's
+    // chunk is reduced in replica order below with the same fold
+    // (`deep_core::reduce_outcomes`) the per-point mean uses.
+    let rep = replicas as usize;
+    let des_outcomes: Vec<ResilienceOutcome> = (0..params.len() * rep)
+        .into_par_iter()
+        .with_max_len(1)
+        .map(|u| {
+            let r = (u % rep) as u64;
+            des_multilevel_run(
+                config,
+                ranks,
+                bytes_per_rank,
+                &params[u / rep],
+                seed,
+                0xE401 + r,
+            )
+        })
+        .collect();
+    // The analytic side flattens the same way inside the batch API.
+    let mc = deep_core::mean_multilevel_efficiency_batch(&params, seed, replicas);
+
+    params
+        .iter()
+        .zip(des_outcomes.chunks_exact(rep))
+        .zip(mc)
+        .map(|((p, des_chunk), mc)| SweepPoint {
+            mtbf_node_s: p.mtbf_node_s,
+            des: deep_core::reduce_outcomes(des_chunk, replicas),
+            mc,
         })
         .collect()
 }

@@ -20,6 +20,11 @@
 # serve_bench measures daemon throughput (jobs/s, cached vs uncached)
 # for the report's `serve` block.
 #
+# bench_report is a gate, not just a formatter: on a host with >= 2
+# cores it exits non-zero when the N-thread suite is slower than the
+# 1-thread suite (or the N-thread row is missing), so a scheduler
+# regression can't be committed as a "refreshed" BENCH_engine.json.
+#
 # Usage: scripts/bench.sh [reps]        (e.g. `scripts/bench.sh 5`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,6 +51,16 @@ RAYON_NUM_THREADS=1 ./target/release/run_experiments --quiet \
     --json target/suite_1thread.json
 RAYON_NUM_THREADS="$NT" ./target/release/run_experiments --quiet \
     --json target/suite_nthreads.json
+
+# Where the time goes: per-experiment wall clock from the 1-thread pass,
+# heaviest first. This is the profile that decides which experiments are
+# worth flattening onto work-unit grids (DESIGN.md §12) and feeds the
+# registry's LPT weights; target/suite_profile.txt is uploaded as a CI
+# artifact alongside the raw suite JSONs.
+echo "==> per-experiment wall-clock profile (1 thread, heaviest first)"
+awk '/^    "/ { gsub(/[":,]/, ""); printf "%9.3f  %s\n", $2, $1 }' \
+    target/suite_1thread.json | sort -rn > target/suite_profile.txt
+head -10 target/suite_profile.txt
 
 echo "==> serve_bench (daemon jobs/s, cached vs uncached)"
 cargo run -q --release -p deep-serve --bin serve_bench > target/serve_bench.json

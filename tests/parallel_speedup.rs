@@ -1,0 +1,101 @@
+//! Parallelism must *pay*: the N-thread Monte-Carlo sweep may never be
+//! slower than the 1-thread run on a multi-core host.
+//!
+//! This is the test-suite twin of the `bench_report` speedup gate (which
+//! fails the committed report when `suite_speedup_vs_1thread < 1.0` on a
+//! wide host): CI's regular `cargo test` catches a scheduler regression
+//! the moment it lands, instead of at the next bench refresh. The
+//! workload is the same unit `benches/sweep.rs` commits to
+//! BENCH_engine.json — full multi-level checkpoint/restart replicas,
+//! sized so one replica is milliseconds of simulation and the pool's
+//! per-task overhead is invisible against the grain.
+//!
+//! On a 1-core host the wall-clock assertion is vacuous (both pools run
+//! the same single worker), so it is skipped — but the bit-identity
+//! assertion still runs: width must never change results anywhere.
+
+// deep-lint: allow(ambient-authority) — this test *measures* host wall
+// clock on purpose: it gates scheduler overhead, not simulated time.
+use std::time::{Duration, Instant};
+
+use deep_core::{mean_multilevel_efficiency, LevelCost, MultiLevelParams};
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+const REPLICAS: u32 = 64;
+
+/// Same shape as `benches/sweep.rs`: heavy enough that fork/join cost
+/// cannot dominate, light enough for a test.
+fn params() -> MultiLevelParams {
+    MultiLevelParams {
+        work_s: 100_000.0,
+        n_nodes: 64,
+        mtbf_node_s: 40_000.0,
+        interval_s: 10.0,
+        levels: [
+            LevelCost {
+                write_s: 0.5,
+                restore_s: 0.5,
+            },
+            LevelCost {
+                write_s: 2.0,
+                restore_s: 2.0,
+            },
+            LevelCost {
+                write_s: 8.0,
+                restore_s: 6.0,
+            },
+        ],
+        l2_every: 2,
+        l3_every: 4,
+        restart_s: 30.0,
+        severity_weights: [0.6, 0.3, 0.1],
+    }
+}
+
+/// Minimum wall over `rounds` runs of the sweep on `pool` — min, not
+/// mean, because load spikes only ever add time.
+fn min_wall(pool: &ThreadPool, p: &MultiLevelParams, rounds: u32) -> Duration {
+    (0..rounds)
+        .map(|_| {
+            // deep-lint: allow(ambient-authority) — wall clock is the measurand here.
+            let t0 = Instant::now();
+            pool.install(|| mean_multilevel_efficiency(p, 11, REPLICAS));
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn nthread_sweep_is_never_slower_than_serial_on_multicore() {
+    let n = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let p = params();
+    let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let full = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+
+    // Width must not change the answer, on any host.
+    let r1 = one.install(|| mean_multilevel_efficiency(&p, 11, REPLICAS));
+    let rn = full.install(|| mean_multilevel_efficiency(&p, 11, REPLICAS));
+    assert_eq!(
+        r1.efficiency.to_bits(),
+        rn.efficiency.to_bits(),
+        "thread count changed the Monte-Carlo result"
+    );
+
+    if n < 2 {
+        eprintln!("1-core host: skipping the wall-clock half of the speedup gate");
+        return;
+    }
+
+    let wall_1 = min_wall(&one, &p, 3);
+    let wall_n = min_wall(&full, &p, 3);
+    let speedup = wall_1.as_secs_f64() / wall_n.as_secs_f64();
+    assert!(
+        speedup >= 1.0,
+        "parallel regression: {n}-thread sweep is {speedup:.2}x the 1-thread \
+         wall ({wall_n:?} vs {wall_1:?}) — the scheduler is costing more than \
+         it delivers"
+    );
+}

@@ -15,6 +15,7 @@
 //! stealable pieces per worker for load balancing without drowning
 //! coarse task bodies in bookkeeping.
 
+use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -55,13 +56,33 @@ pub trait ParallelIterator: Sized + Send {
         }
     }
 
+    /// Cap the leaf size of the split tree (rayon's `with_max_len`).
+    ///
+    /// The adaptive threshold (~len / 4·threads) assumes item bodies are
+    /// cheap relative to scheduling. For *coarse* work units — whole
+    /// simulations, micro- to milliseconds each — a leaf of 3–4 items
+    /// serializes work that should be individually stealable:
+    /// `with_max_len(1)` makes every item its own leaf. Splitting stays
+    /// at fixed midpoints, so this changes scheduling granularity only,
+    /// never the index order of results.
+    fn with_max_len(self, max: usize) -> MaxLen<Self> {
+        assert!(max > 0, "with_max_len requires a non-zero cap");
+        MaxLen { base: self, max }
+    }
+
+    /// Upper bound on leaf size imposed by a [`MaxLen`] adapter in the
+    /// chain; `None` means only the adaptive threshold applies.
+    fn max_leaf_len(&self) -> Option<usize> {
+        None
+    }
+
     /// Run `f` on every item, in parallel. No ordering is observable
     /// (there is no result), so `f` must be safe to call concurrently.
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync + Send,
     {
-        let threshold = split_threshold(self.len());
+        let threshold = effective_threshold(&self);
         drive_for_each(self, &f, threshold);
     }
 
@@ -99,15 +120,35 @@ fn split_threshold(len: usize) -> usize {
     (len / (4 * current_num_threads()).max(1)).max(1)
 }
 
-/// Recursive fork-join drive writing items into index-ordered slots.
-fn drive_fill<P: ParallelIterator>(p: P, out: &mut [Option<P::Item>], threshold: usize) {
+/// Adaptive threshold clamped by any [`MaxLen`] adapter in the chain.
+fn effective_threshold<P: ParallelIterator>(p: &P) -> usize {
+    let adaptive = split_threshold(p.len());
+    match p.max_leaf_len() {
+        Some(cap) => adaptive.min(cap).max(1),
+        None => adaptive,
+    }
+}
+
+/// Recursive fork-join drive writing items into index-ordered
+/// *uninitialized* slots — the collect hot path writes each element
+/// exactly once, in place, with no `Option` wrapping and no second
+/// materializing pass.
+fn drive_fill<P: ParallelIterator>(p: P, out: &mut [MaybeUninit<P::Item>], threshold: usize) {
     let n = p.len();
     debug_assert_eq!(n, out.len());
     if n <= threshold {
-        let mut slot = out.iter_mut();
+        let mut written = 0;
         p.drive_seq(&mut |item| {
-            *slot.next().expect("producer yielded more than len() items") = Some(item);
+            // Bounds-assert *before* the write: an over-producing
+            // source must panic, not scribble past the sub-slice.
+            assert!(written < n, "producer yielded more than len() items");
+            out[written].write(item);
+            written += 1;
         });
+        // `collect_vec`'s set_len relies on every leaf having fully
+        // initialized its sub-slice; an under-producing source must
+        // panic here, before any uninitialized memory can be exposed.
+        assert_eq!(written, n, "producer yielded fewer than len() items");
         return;
     }
     let mid = n / 2;
@@ -138,17 +179,26 @@ where
     );
 }
 
-/// Drive to an index-ordered `Vec`.
+/// Drive to an index-ordered `Vec`, writing results straight into the
+/// final allocation (no intermediate `Vec<Option<T>>` + unwrap-move
+/// pass — that double materialization cost a full extra copy of every
+/// `par_sweep`/`collect` result).
 fn collect_vec<P: ParallelIterator>(p: P) -> Vec<P::Item> {
     let n = p.len();
-    let mut slots: Vec<Option<P::Item>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let threshold = split_threshold(n);
-    drive_fill(p, &mut slots, threshold);
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    let threshold = effective_threshold(&p);
+    let mut vec: Vec<P::Item> = Vec::with_capacity(n);
+    drive_fill(p, &mut vec.spare_capacity_mut()[..n], threshold);
+    // SAFETY: `drive_fill` partitions the slot slice into disjoint
+    // leaf sub-slices (split_at_mut along the fixed-midpoint split
+    // tree) and each leaf asserts it wrote *exactly* its sub-slice
+    // length before returning, so on this line all `n` slots are
+    // initialized. If any leaf panics (short/over production or a
+    // panicking job body), the panic propagates out of `drive_fill`
+    // and this line is never reached — `vec` still has len 0, so
+    // already-written elements leak but no uninitialized or
+    // double-dropped memory is ever observed.
+    unsafe { vec.set_len(n) };
+    vec
 }
 
 /// Containers a parallel iterator can collect into.
@@ -201,6 +251,52 @@ where
     fn drive_seq(self, each: &mut dyn FnMut(R)) {
         let f = self.f;
         self.base.drive_seq(&mut |item| each(f(item)));
+    }
+
+    fn max_leaf_len(&self) -> Option<usize> {
+        self.base.max_leaf_len()
+    }
+}
+
+/// Parallel iterator returned by [`ParallelIterator::with_max_len`]:
+/// identical item stream, but leaves of the split tree are capped at
+/// `max` items.
+pub struct MaxLen<P> {
+    base: P,
+    max: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MaxLen<P> {
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            MaxLen {
+                base: left,
+                max: self.max,
+            },
+            MaxLen {
+                base: right,
+                max: self.max,
+            },
+        )
+    }
+
+    fn drive_seq(self, each: &mut dyn FnMut(P::Item)) {
+        self.base.drive_seq(each);
+    }
+
+    fn max_leaf_len(&self) -> Option<usize> {
+        // Nested caps compose by taking the tightest.
+        Some(match self.base.max_leaf_len() {
+            Some(inner) => inner.min(self.max),
+            None => self.max,
+        })
     }
 }
 

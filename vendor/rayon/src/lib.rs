@@ -178,6 +178,89 @@ mod tests {
     }
 
     #[test]
+    fn with_max_len_is_result_invariant() {
+        // Capping the leaf size changes scheduling granularity only —
+        // the collected output must be bitwise the same as uncapped.
+        let xs: Vec<u64> = (0..257).collect();
+        let uncapped: Vec<u64> = xs.par_iter().map(|&x| x * x + 1).collect();
+        for cap in [1, 2, 7, 64, 1024] {
+            let capped: Vec<u64> = xs
+                .par_iter()
+                .with_max_len(cap)
+                .map(|&x| x * x + 1)
+                .collect();
+            assert_eq!(capped, uncapped, "cap = {cap}");
+            let mapped_then_capped: Vec<u64> = xs
+                .par_iter()
+                .map(|&x| x * x + 1)
+                .with_max_len(cap)
+                .collect();
+            assert_eq!(mapped_then_capped, uncapped, "cap = {cap} (post-map)");
+        }
+    }
+
+    #[test]
+    fn with_max_len_sum_stays_bit_identical() {
+        let xs: Vec<f64> = (0..999).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = xs.iter().sum();
+        let par: f64 = xs.par_iter().with_max_len(1).sum();
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn collect_drops_every_element_exactly_once() {
+        // The uninit-slot collect must neither leak nor double-drop on
+        // the happy path: track live instances through a drop counter.
+        use std::sync::atomic::{AtomicIsize, Ordering};
+        static LIVE: AtomicIsize = AtomicIsize::new(0);
+        struct Counted(u32);
+        impl Counted {
+            fn new(v: u32) -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted(v)
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let out: Vec<Counted> = (0u32..1000).into_par_iter().map(Counted::new).collect();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 1000);
+        assert!(out.iter().enumerate().all(|(i, c)| c.0 == i as u32));
+        drop(out);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn collect_panics_on_underproducing_source() {
+        // A source whose drive_seq yields fewer items than len() claims
+        // must abort the collect with a panic *before* set_len could
+        // expose uninitialized memory.
+        struct Short(usize);
+        impl crate::iter::ParallelIterator for Short {
+            type Item = u64;
+            fn len(&self) -> usize {
+                self.0
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                (Short(index), Short(self.0 - index))
+            }
+            fn drive_seq(self, each: &mut dyn FnMut(u64)) {
+                // One item short of the advertised length.
+                for i in 0..self.0.saturating_sub(1) {
+                    each(i as u64);
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = crate::iter::ParallelIterator::collect(Short(5));
+        });
+        assert!(result.is_err(), "under-production must panic, not UB");
+    }
+
+    #[test]
     fn float_sum_is_bit_identical_to_sequential() {
         let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
         let seq: f64 = xs.iter().sum();

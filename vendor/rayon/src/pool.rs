@@ -14,12 +14,19 @@
 //!   deques: at coarse granularity the lock is nanoseconds against
 //!   task bodies of micro- to milliseconds, and it keeps this file
 //!   auditable;
-//! * idle workers park on a condvar with a short timeout and re-check,
-//!   so a missed wakeup can only cost a millisecond, never a deadlock;
+//! * idle workers park on a condvar under a **counted-sleeper
+//!   protocol**: a new job wakes exactly *one* parked worker (and skips
+//!   the sleep mutex entirely when nobody is parked), latch completions
+//!   wake all parked workers, and every park still carries a timeout
+//!   backstop so even a reasoning error in the wakeup proof could only
+//!   cost milliseconds, never a deadlock (see [`Registry::notify_job`]
+//!   for the no-lost-wakeup argument);
 //! * a worker that must wait for a latch (its `join` partner was
 //!   stolen, a scope still has pending tasks) **keeps executing other
 //!   jobs** while it waits — this is what makes nested `join`/`scope`
-//!   deadlock-free on any pool size, including one thread.
+//!   deadlock-free on any pool size, including one thread — and backs
+//!   off exponentially between failed steal attempts instead of
+//!   rescanning every queue at a fixed fast cadence.
 //!
 //! Every job body runs under `catch_unwind`: a panicking task poisons
 //! only its own result (rethrown at the `join`/`scope`/`install` that
@@ -29,7 +36,7 @@ use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -202,7 +209,11 @@ impl WakeLatch {
     }
 
     pub(crate) fn probe(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        // SeqCst pairs with the SeqCst store in `set` and the sleeper
+        // counter: the store-buffering argument in
+        // [`Registry::notify_job`] needs both sides of the
+        // flag/sleeper-counter exchange in the single total order.
+        self.flag.load(Ordering::SeqCst)
     }
 }
 
@@ -210,8 +221,8 @@ impl Latch for WakeLatch {
     fn set(&self) {
         // SAFETY: the registry outlives every job that references it.
         let registry = unsafe { &*self.registry };
-        self.flag.store(true, Ordering::Release);
-        registry.notify_all();
+        self.flag.store(true, Ordering::SeqCst);
+        registry.notify_waiters();
     }
 }
 
@@ -261,6 +272,18 @@ pub(crate) struct Registry {
     injected: Mutex<VecDeque<JobRef>>,
     sleep_mutex: Mutex<()>,
     sleep_cv: Condvar,
+    /// Number of workers currently parked (or irrevocably committed to
+    /// parking) on `sleep_cv`. Incremented under `sleep_mutex` before
+    /// the final queue re-check; lets notifiers skip the mutex + condvar
+    /// entirely when nobody is asleep, and wake exactly one sleeper per
+    /// new job. See [`Registry::notify_job`] for the protocol proof.
+    sleepers: AtomicUsize,
+    /// Jobs pushed but not yet popped, across all deques and the
+    /// injector. Incremented *before* the push (so it can never read
+    /// lower than the true queue population to a racing consumer) and
+    /// decremented after each successful pop. Lets an idle worker skip
+    /// scanning every queue lock when the pool is empty.
+    pending_jobs: AtomicUsize,
     terminate: AtomicBool,
 }
 
@@ -290,6 +313,8 @@ impl Registry {
             injected: Mutex::new(VecDeque::new()),
             sleep_mutex: Mutex::new(()),
             sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            pending_jobs: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
         });
         let handles = (0..num_threads)
@@ -308,6 +333,9 @@ impl Registry {
         self.workers.len()
     }
 
+    /// Wake **every** parked worker unconditionally. Only used for
+    /// whole-pool state changes (termination) where each worker must
+    /// re-examine the world regardless of queue contents.
     pub(crate) fn notify_all(&self) {
         // Touch the sleep mutex so a worker between its queue check and
         // its `wait_timeout` cannot miss the notification entirely (the
@@ -316,16 +344,82 @@ impl Registry {
         self.sleep_cv.notify_all();
     }
 
+    /// Wake *one* parked worker because one new job was pushed.
+    ///
+    /// No-lost-wakeup argument. A sleeper parks only via this protocol
+    /// (see `wait_while_working` / `worker_main`):
+    ///
+    /// 1. `sleepers.fetch_add(1, SeqCst)`  — announce intent;
+    /// 2. lock `sleep_mutex`;
+    /// 3. re-check for work (`pending_jobs` / latch / terminate);
+    /// 4. if still nothing: `wait_timeout` on `sleep_cv` (atomically
+    ///    releases the mutex);
+    /// 5. `sleepers.fetch_sub(1, SeqCst)` on wake.
+    ///
+    /// A notifier runs: W: `pending_jobs.fetch_add(1, SeqCst)`; push the
+    /// job; R: `sleepers.load(SeqCst)`; if non-zero, lock + unlock
+    /// `sleep_mutex`, then `notify_one`.
+    ///
+    /// Both critical loads/stores are SeqCst, so they all appear in one
+    /// total order. Case split on that order:
+    ///
+    /// * Notifier's R(sleepers) sees ≥ 1 — it proceeds to wake. It first
+    ///   locks `sleep_mutex`; a sleeper past step 1 is either (a) before
+    ///   step 4, still holding the mutex, so the notifier's lock blocks
+    ///   until the sleeper is atomically waiting inside `wait_timeout` —
+    ///   the subsequent `notify_one` is seen; or (b) already waiting —
+    ///   seen likewise. No lost wakeup. (`notify_one` may wake a
+    ///   *different* sleeper than the one we reasoned about, but any
+    ///   woken worker re-runs step 3, sees `pending_jobs > 0`, and goes
+    ///   to work — the job still gets picked up.)
+    /// * Notifier's R(sleepers) sees 0 — then every sleeper's
+    ///   W(sleepers) (step 1) is *after* the notifier's R in the total
+    ///   order, hence after the notifier's W(pending_jobs). SeqCst makes
+    ///   that write visible to the sleeper's step-3 re-check, which
+    ///   therefore observes `pending_jobs > 0` and backs out instead of
+    ///   parking. Again no lost wakeup.
+    ///
+    /// Sleepers that lost a `notify_one` race to a sibling re-check and
+    /// re-park; and every park is a `wait_timeout`, so even a hole in
+    /// this argument could only cost one timeout period, never a hang.
+    fn notify_job(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep_mutex.lock().unwrap());
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Wake every parked worker because a latch fired or a scope
+    /// drained. `notify_one` would be wrong here: the condvar could pick
+    /// a sleeper that is *not* the latch's waiter, and unlike a queued
+    /// job a latch event cannot be "found" by an arbitrary worker — only
+    /// its waiter reacts to it, so all sleepers must get a chance to
+    /// re-check. Skips the mutex when nobody is parked (the common case
+    /// on a busy pool); the same total-order argument as
+    /// [`Registry::notify_job`] applies with the latch flag (SeqCst
+    /// store in `WakeLatch::set`, SeqCst probe) in place of
+    /// `pending_jobs`.
+    fn notify_waiters(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep_mutex.lock().unwrap());
+            self.sleep_cv.notify_all();
+        }
+    }
+
     /// Push onto worker `index`'s own deque (back = LIFO end).
     pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        // Count the job *before* it becomes poppable so `pending_jobs`
+        // never under-reports to a concurrent consumer (see field doc).
+        self.pending_jobs.fetch_add(1, Ordering::SeqCst);
         self.workers[index].deque.lock().unwrap().push_back(job);
-        self.notify_all();
+        self.notify_job();
     }
 
     /// Inject from outside the pool (or across pools).
     pub(crate) fn inject(&self, job: JobRef) {
+        self.pending_jobs.fetch_add(1, Ordering::SeqCst);
         self.injected.lock().unwrap().push_back(job);
-        self.notify_all();
+        self.notify_job();
     }
 
     /// Pop worker `index`'s most recent job if it is exactly `job`
@@ -334,6 +428,8 @@ impl Registry {
         let mut deque = self.workers[index].deque.lock().unwrap();
         if deque.back().is_some_and(|b| b.same_job(job)) {
             deque.pop_back();
+            drop(deque);
+            self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
             true
         } else {
             false
@@ -343,16 +439,27 @@ impl Registry {
     /// Find a job for worker `index`: own deque (LIFO), then the
     /// injector, then steal the oldest job of another worker.
     fn find_work(&self, index: usize) -> Option<JobRef> {
+        // Fast path: when the whole pool is empty, skip taking N+1 queue
+        // locks just to discover that. `pending_jobs` is incremented
+        // before each push, so a 0 here proves every queue was empty at
+        // the load — any job pushed after is published by a wakeup
+        // (notify_job) or caught by the caller's timeout backstop.
+        if self.pending_jobs.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
         if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
+            self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
         if let Some(job) = self.injected.lock().unwrap().pop_front() {
+            self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
         let n = self.workers.len();
         for offset in 1..n {
             let victim = (index + offset) % n;
             if let Some(job) = self.workers[victim].deque.lock().unwrap().pop_front() {
+                self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
                 return Some(job);
             }
         }
@@ -362,22 +469,41 @@ impl Registry {
     /// Worker-side wait: keep executing available work until `done`
     /// reports true. This is the deadlock-avoidance core — a waiting
     /// worker is still a worker.
+    ///
+    /// Between failed steal attempts the worker parks with exponential
+    /// backoff (50 µs doubling to ~1.6 ms) instead of rescanning every
+    /// queue at a fixed fast cadence: under a long wait with an empty
+    /// pool the old 200 µs spin had all idle workers hammering N+1
+    /// mutexes forever. The backoff resets whenever a job was actually
+    /// found. Parking follows the counted-sleeper protocol proved in
+    /// [`Registry::notify_job`], with `done()` (a SeqCst latch probe or
+    /// mutex-guarded counter read) standing in for the latch flag.
     pub(crate) fn wait_while_working(&self, index: usize, done: &dyn Fn() -> bool) {
+        let mut backoff_us: u64 = 50;
         while !done() {
             if let Some(job) = self.find_work(index) {
                 // SAFETY: every queued JobRef is valid until executed.
                 unsafe { job.execute() };
+                backoff_us = 50;
                 continue;
             }
+            // Counted-sleeper park: announce, lock, re-check, wait.
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
             let guard = self.sleep_mutex.lock().unwrap();
-            if done() {
-                return;
+            if done() || self.pending_jobs.load(Ordering::SeqCst) > 0 {
+                drop(guard);
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
             }
-            // Timed wait: a `set` that raced past us only costs 200 µs.
+            // Timed wait: the timeout backstops the (proven-absent)
+            // lost-wakeup case, so a hole in the proof costs
+            // milliseconds, not a deadlock.
             let _ = self
                 .sleep_cv
-                .wait_timeout(guard, Duration::from_micros(200))
+                .wait_timeout(guard, Duration::from_micros(backoff_us))
                 .unwrap();
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            backoff_us = (backoff_us * 2).min(1600);
         }
     }
 
@@ -415,11 +541,24 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         if registry.terminate.load(Ordering::Acquire) {
             return;
         }
+        // Counted-sleeper park (protocol proof: `Registry::notify_job`).
+        // The 5 ms timeout is purely a backstop; a `terminate` flip is
+        // also covered because `ThreadPool::drop` uses the unconditional
+        // `notify_all` after storing the flag.
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = registry.sleep_mutex.lock().unwrap();
+        if registry.pending_jobs.load(Ordering::SeqCst) > 0
+            || registry.terminate.load(Ordering::Acquire)
+        {
+            drop(guard);
+            registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
         let _ = registry
             .sleep_cv
-            .wait_timeout(guard, Duration::from_millis(1))
+            .wait_timeout(guard, Duration::from_millis(5))
             .unwrap();
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -526,7 +665,10 @@ impl<'scope> Scope<'scope> {
             let registry = scope.registry;
             *scope.pending.lock().unwrap() -= 1;
             // SAFETY: the registry outlives all of its jobs.
-            unsafe { (*registry).notify_all() };
+            // `notify_waiters` (not `notify_job`): the scope owner may
+            // be parked waiting for `pending` to drain, and only *it*
+            // reacts to this event — every sleeper must get to re-check.
+            unsafe { (*registry).notify_waiters() };
         });
         // SAFETY: lifetime erasure. The closure only borrows data that
         // lives at least as long as 'scope, and the scope cannot end
