@@ -2,7 +2,8 @@
 //! `BENCH_engine.json` report.
 //!
 //! Usage: `bench_report [criterion.jsonl] [BENCH_engine.json]
-//! [--serve serve.json] [--nproc N] [suite.json ...]`
+//! [--serve serve.json] [--des-scaling des.json] [--nproc N]
+//! [suite.json ...]`
 //! (defaults: `target/criterion.jsonl`, `BENCH_engine.json`).
 //! Trailing args are `run_experiments --json` outputs; their
 //! `suite_wall_seconds` land in the `experiment_suite` block keyed by
@@ -12,7 +13,11 @@
 //! that speedup, so a committed report says what parallel hardware
 //! produced it (a 1.0× "speedup" on a 1-core host is expected, not a
 //! regression). `--serve` takes a `serve_bench` output and lands it in
-//! a `serve` block (daemon jobs/s, cached vs uncached).
+//! a `serve` block (daemon jobs/s, cached vs uncached). `--des-scaling`
+//! takes a `des_scaling_bench --json` output and lands it in a
+//! `des_scaling` block (full-DES weak-scaling throughput plus the run's
+//! determinism digest); an empty run — zero messages or kernel events,
+//! or a malformed digest — is rejected rather than published.
 //!
 //! Missing or regressed parallelism is a **hard failure** on a
 //! multi-core host (`--nproc` ≥ 2): no multi-thread suite row, or a
@@ -191,6 +196,62 @@ fn parse_serve(text: &str) -> Option<ServeStats> {
     })
 }
 
+/// Full-DES weak-scaling numbers from a `des_scaling_bench --json` run.
+#[derive(Debug, Clone, PartialEq)]
+struct DesStats {
+    ranks: u64,
+    iters: u64,
+    class: String,
+    segments: u64,
+    iter_sim_seconds: f64,
+    messages: u64,
+    kernel_events: u64,
+    events_per_sec: f64,
+    wall_seconds: f64,
+    digest: String,
+}
+
+/// Parse a `des_scaling_bench --json` output file.
+fn parse_des_scaling(text: &str) -> Option<DesStats> {
+    let v = deep_json::from_str(text).ok()?;
+    let d = v.get("des_scaling")?;
+    Some(DesStats {
+        ranks: d.get("ranks")?.as_u64()?,
+        iters: d.get("iters")?.as_u64()?,
+        class: d.get("class")?.as_str()?.to_string(),
+        segments: d.get("segments")?.as_u64()?,
+        iter_sim_seconds: d.get("iter_sim_seconds")?.as_f64()?,
+        messages: d.get("messages")?.as_u64()?,
+        kernel_events: d.get("kernel_events")?.as_u64()?,
+        events_per_sec: d.get("events_per_sec")?.as_f64()?,
+        wall_seconds: d.get("wall_seconds")?.as_f64()?,
+        digest: d.get("digest")?.as_str()?.to_string(),
+    })
+}
+
+/// The des-scaling sanity gate. Unlike the parallel-payoff gate this one
+/// is host-independent: a run that simulated nothing (zero messages or
+/// kernel events, a non-positive simulated iteration) or whose digest is
+/// not the `0x` + 16-hex form the determinism goldens pin must not be
+/// published, on any hardware.
+fn des_gate(d: &DesStats) -> Result<(), String> {
+    if d.messages == 0 || d.kernel_events == 0 || d.iter_sim_seconds <= 0.0 {
+        return Err(format!(
+            "des_scaling run simulated nothing: {} messages, {} kernel events, \
+             iter_sim_seconds {:.9}",
+            d.messages, d.kernel_events, d.iter_sim_seconds
+        ));
+    }
+    let hex = d.digest.strip_prefix("0x").unwrap_or("");
+    if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!(
+            "des_scaling digest '{}' is not a 0x-prefixed 16-digit hex value",
+            d.digest
+        ));
+    }
+    Ok(())
+}
+
 /// N-vs-1 suite speedup: best multi-thread wall against the 1-thread
 /// wall, when both are present.
 fn suite_speedup(suites: &[SuiteRun]) -> Option<f64> {
@@ -242,13 +303,15 @@ fn speedup_gate(suites: &[SuiteRun], host_nproc: Option<u64>) -> Result<(), Stri
 
 /// Render the full report as pretty-printed JSON. `suites` holds
 /// (threads, suite_wall_seconds) pairs from `run_experiments --json`;
-/// `serve` holds daemon throughput from `serve_bench`; `host_nproc`
-/// is the measuring host's core count (`--nproc`, null when not
-/// passed).
+/// `serve` holds daemon throughput from `serve_bench`; `des` holds
+/// full-DES weak-scaling throughput from `des_scaling_bench`;
+/// `host_nproc` is the measuring host's core count (`--nproc`, null
+/// when not passed).
 fn render(
     results: &BTreeMap<String, Entry>,
     suites: &[SuiteRun],
     serve: Option<&ServeStats>,
+    des: Option<&DesStats>,
     host_nproc: Option<u64>,
 ) -> String {
     let events = results.get("engine/timers/1000").and_then(|e| e.per_sec());
@@ -352,6 +415,28 @@ fn render(
             let _ = writeln!(out, "  \"serve\": null,");
         }
     }
+    // Full-DES weak scaling (des_scaling_bench): throughput of the
+    // partitioned, batch-scheduled engine on the F09 skeleton, plus the
+    // run's summary digest — the value CI compares across thread counts.
+    match des {
+        Some(d) => {
+            let _ = writeln!(out, "  \"des_scaling\": {{");
+            let _ = writeln!(out, "    \"ranks\": {},", d.ranks);
+            let _ = writeln!(out, "    \"iters\": {},", d.iters);
+            let _ = writeln!(out, "    \"class\": \"{}\",", d.class);
+            let _ = writeln!(out, "    \"segments\": {},", d.segments);
+            let _ = writeln!(out, "    \"iter_sim_seconds\": {:.9},", d.iter_sim_seconds);
+            let _ = writeln!(out, "    \"messages\": {},", d.messages);
+            let _ = writeln!(out, "    \"kernel_events\": {},", d.kernel_events);
+            let _ = writeln!(out, "    \"events_per_sec\": {:.0},", d.events_per_sec);
+            let _ = writeln!(out, "    \"wall_seconds\": {:.3},", d.wall_seconds);
+            let _ = writeln!(out, "    \"digest\": \"{}\"", d.digest);
+            let _ = writeln!(out, "  }},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"des_scaling\": null,");
+        }
+    }
     let _ = writeln!(out, "  \"baseline\": {{");
     let _ = writeln!(out, "    \"commit\": \"{BASELINE_COMMIT}\",");
     let _ = writeln!(out, "    \"events_per_sec\": {base_events:.0},");
@@ -412,6 +497,7 @@ fn dedupe_suites(suites: &mut Vec<SuiteRun>) {
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut serve: Option<ServeStats> = None;
+    let mut des: Option<DesStats> = None;
     let mut host_nproc: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -424,6 +510,17 @@ fn main() {
                 .unwrap_or_else(|e| panic!("cannot read serve file {path}: {e}"));
             serve = Some(
                 parse_serve(&text).unwrap_or_else(|| panic!("{path} is not a serve_bench output")),
+            );
+        } else if arg == "--des-scaling" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--des-scaling needs a des_scaling_bench --json output path");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read des-scaling file {path}: {e}"));
+            des = Some(
+                parse_des_scaling(&text)
+                    .unwrap_or_else(|| panic!("{path} is not a des_scaling_bench output")),
             );
         } else if arg == "--nproc" {
             let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -461,6 +558,14 @@ fn main() {
         eprintln!("ERROR: {msg}");
         std::process::exit(1);
     }
+    // The des-scaling sanity gate: an empty or malformed run must not
+    // be published; see des_gate.
+    if let Some(d) = &des {
+        if let Err(msg) = des_gate(d) {
+            eprintln!("ERROR: {msg}");
+            std::process::exit(1);
+        }
+    }
     let text = std::fs::read_to_string(&input)
         .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run scripts/bench.sh first)"));
     let results = collect(&text);
@@ -468,7 +573,7 @@ fn main() {
         results.contains_key("engine/timers/1000"),
         "input has no engine/timers/1000 result; did the engine bench run?"
     );
-    let report = render(&results, &suites, serve.as_ref(), host_nproc);
+    let report = render(&results, &suites, serve.as_ref(), des.as_ref(), host_nproc);
     std::fs::write(&output, &report).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     println!("wrote {output} ({} benchmarks)", results.len());
 }
@@ -519,7 +624,7 @@ mod tests {
             "{\"name\":\"mpi/allreduce/8\",\"ns_per_iter\":1000,\"elements\":4}\n",
             "{\"name\":\"ompss/cholesky_graph_build/8\",\"ns_per_iter\":1000,\"elements\":120}\n",
         );
-        let report = render(&collect(text), &[], None, None);
+        let report = render(&collect(text), &[], None, None, None);
         // 100000 elements / 5 ms = 20 M events/s; baseline ≈ 8.92 M → 2.24×.
         assert!(report.contains("\"events_per_sec\": 20000000"));
         assert!(report.contains("\"transfers_per_sec\": 2000000"));
@@ -564,7 +669,7 @@ mod tests {
         );
         let mut one = sr(1, 8.4);
         one.profile = vec![("a33_allreduce_algorithms".to_string(), 3.424)];
-        let report = render(&collect(text), &[one, sr(4, 2.1)], None, None);
+        let report = render(&collect(text), &[one, sr(4, 2.1)], None, None, None);
         // 64 runs / 64 ms = 1000 runs/s single-threaded, 4000 wide.
         assert!(report.contains("\"sweep_runs_per_sec_1thread\": 1000"));
         assert!(report.contains("\"sweep_runs_per_sec_nthreads\": 4000"));
@@ -598,20 +703,26 @@ mod tests {
         );
         assert_eq!(suites[0].profile, vec![("x".to_string(), 6.0)]);
 
-        let report = render(&BTreeMap::new(), &suites, None, None);
+        let report = render(&BTreeMap::new(), &suites, None, None, None);
         assert_eq!(report.matches("\"1\": 6.700").count(), 1, "{report}");
     }
 
     #[test]
     fn host_nproc_lands_next_to_the_suite_speedup() {
-        let report = render(&BTreeMap::new(), &[sr(1, 8.4), sr(4, 2.1)], None, Some(4));
+        let report = render(
+            &BTreeMap::new(),
+            &[sr(1, 8.4), sr(4, 2.1)],
+            None,
+            None,
+            Some(4),
+        );
         assert!(
             report.contains("\"suite_speedup_vs_1thread\": 4.00,\n    \"host_nproc\": 4"),
             "{report}"
         );
         // Without --nproc the field is an explicit null, not absent —
         // a committed report always says whether the host was recorded.
-        let report = render(&BTreeMap::new(), &[], None, None);
+        let report = render(&BTreeMap::new(), &[], None, None, None);
         assert!(report.contains("\"host_nproc\": null"), "{report}");
         // The report stays valid JSON either way.
         assert!(deep_json::from_str(&report).is_ok(), "{report}");
@@ -663,13 +774,81 @@ mod tests {
         let stats = parse_serve(text).unwrap();
         assert_eq!(stats.jobs, 16);
         assert_eq!(stats.cached_service_micros_max, 812);
-        let report = render(&BTreeMap::new(), &[], Some(&stats), None);
+        let report = render(&BTreeMap::new(), &[], Some(&stats), None, None);
         assert!(report.contains("\"cached_jobs_per_s\": 640.00"), "{report}");
         assert!(report.contains("\"cache_speedup\": 51.20"), "{report}");
         // Without serve data the section is an explicit null, not absent.
-        let report = render(&BTreeMap::new(), &[], None, None);
+        let report = render(&BTreeMap::new(), &[], None, None, None);
         assert!(report.contains("\"serve\": null"), "{report}");
         assert!(parse_serve("{}").is_none());
         assert!(parse_serve("not json").is_none());
+    }
+
+    /// A plausible `des_scaling_bench --json` output, as a test fixture.
+    fn des_fixture() -> DesStats {
+        parse_des_scaling(
+            r#"{
+  "des_scaling": {
+    "ranks": 65536,
+    "iters": 2,
+    "class": "spmv",
+    "segments": 3641,
+    "iter_sim_seconds": 0.002051244,
+    "messages": 1310720,
+    "kernel_events": 1135639,
+    "events_per_sec": 13500000,
+    "wall_seconds": 0.181,
+    "digest": "0x08b70910eb221787"
+  }
+}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn des_scaling_section_parses_and_renders() {
+        let d = des_fixture();
+        assert_eq!((d.ranks, d.iters, d.segments), (65536, 2, 3641));
+        assert_eq!(d.class, "spmv");
+        assert_eq!(d.digest, "0x08b70910eb221787");
+        let report = render(&BTreeMap::new(), &[], None, Some(&d), None);
+        assert!(report.contains("\"ranks\": 65536"), "{report}");
+        assert!(
+            report.contains("\"iter_sim_seconds\": 0.002051244"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"digest\": \"0x08b70910eb221787\""),
+            "{report}"
+        );
+        assert!(deep_json::from_str(&report).is_ok(), "{report}");
+        // Without des data the section is an explicit null, not absent.
+        let report = render(&BTreeMap::new(), &[], None, None, None);
+        assert!(report.contains("\"des_scaling\": null"), "{report}");
+        assert!(parse_des_scaling("{}").is_none());
+        assert!(parse_des_scaling("not json").is_none());
+    }
+
+    #[test]
+    fn des_gate_rejects_empty_runs_and_bad_digests() {
+        assert!(des_gate(&des_fixture()).is_ok());
+        let mut d = des_fixture();
+        d.messages = 0;
+        assert!(des_gate(&d).is_err(), "zero messages must not publish");
+        let mut d = des_fixture();
+        d.kernel_events = 0;
+        assert!(des_gate(&d).is_err(), "zero kernel events must not publish");
+        let mut d = des_fixture();
+        d.iter_sim_seconds = 0.0;
+        assert!(
+            des_gate(&d).is_err(),
+            "empty simulated time must not publish"
+        );
+        let mut d = des_fixture();
+        d.digest = "0xdeadbeef".to_string();
+        assert!(des_gate(&d).is_err(), "short digest must not publish");
+        let mut d = des_fixture();
+        d.digest = "08b70910eb221787".to_string();
+        assert!(des_gate(&d).is_err(), "unprefixed digest must not publish");
     }
 }

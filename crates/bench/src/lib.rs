@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod des_scaling;
 pub mod experiments;
 pub mod sweep;
 

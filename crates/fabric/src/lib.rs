@@ -28,7 +28,7 @@ pub mod types;
 pub use extoll::{ExtollFabric, ExtollParams};
 pub use fattree::FatTree;
 pub use ib::{IbFabric, IbParams};
-pub use network::{FaultModel, LinkFailure, Network};
+pub use network::{BatchMsg, FaultModel, LinkFailure, Network};
 pub use pcie::PcieBus;
 pub use topology::{analyze, Crossbar, Topology, TopologyStats};
 pub use torus::{Torus3D, TorusDir};

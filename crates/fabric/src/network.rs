@@ -17,6 +17,18 @@
 //! through the route, so segmentation only matters for the *contention
 //! granularity* (a huge message cannot hog a link forever if `mtu` is
 //! finite — interleaving happens at segment boundaries).
+//!
+//! ## State layout
+//!
+//! Per-link and per-node dynamic state is stored **SoA** (one parallel
+//! array per field, indexed by `LinkId`/`NodeId`) rather than as arrays
+//! of structs. At fabric scale — a 262 144-host fat tree has ~1.6 M
+//! directed links — the transfer hot loop touches only `busy_until`
+//! (and `busy_accum`), so the SoA split keeps the contention horizon
+//! array dense in cache instead of dragging the accounting fields along
+//! at 32 bytes per link. Node-fault state keeps an active-fault count so
+//! the fault-free fast path is one integer test, not two array reads per
+//! transfer.
 
 use std::cell::{Cell, RefCell};
 
@@ -25,11 +37,25 @@ use deep_simkit::{Sim, SimDuration, SimRng, SimTime, TraceKey};
 use crate::topology::Topology;
 use crate::types::{EndpointOverhead, LinkId, NodeId, TransferStats};
 
-struct LinkState {
-    busy_until: SimTime,
-    bytes_carried: u64,
-    messages: u64,
-    busy_accum: SimDuration,
+/// Per-link dynamic state, SoA: `busy_until[l]` is the contention
+/// horizon the hot loop reads and writes; the other arrays are
+/// accounting, read only by diagnostics.
+struct LinkStates {
+    busy_until: Vec<SimTime>,
+    busy_accum: Vec<SimDuration>,
+    bytes_carried: Vec<u64>,
+    messages: Vec<u64>,
+}
+
+impl LinkStates {
+    fn new(n: usize) -> Self {
+        LinkStates {
+            busy_until: vec![SimTime::ZERO; n],
+            busy_accum: vec![SimDuration::ZERO; n],
+            bytes_carried: vec![0; n],
+            messages: vec![0; n],
+        }
+    }
 }
 
 /// Fault-injection model: per-traversal corruption probability; a corrupt
@@ -69,23 +95,58 @@ impl LinkFailure {
     pub const NO_LINK: LinkId = LinkId(u32::MAX);
 }
 
-/// Per-node injected fault state (node crash, NIC packet drop).
-#[derive(Debug, Clone, Copy, Default)]
-struct NodeFault {
+/// Per-node injected fault state, SoA, with an active-fault count so
+/// the (overwhelmingly common) fault-free case skips the arrays.
+struct NodeFaults {
     /// The node is down: every transfer touching it fails.
-    down: bool,
+    down: Vec<bool>,
     /// Probability that this node's NIC drops a whole message.
-    drop_prob: f64,
+    drop_prob: Vec<f64>,
+    /// Number of nodes with any fault active (`down` or `drop_prob > 0`).
+    active: usize,
+}
+
+impl NodeFaults {
+    fn new(n: usize) -> Self {
+        NodeFaults {
+            down: vec![false; n],
+            drop_prob: vec![0.0; n],
+            active: 0,
+        }
+    }
+
+    #[inline]
+    fn is_faulty(&self, i: usize) -> bool {
+        self.down[i] || self.drop_prob[i] > 0.0
+    }
+}
+
+/// One message of a same-epoch batch (see [`Network::schedule_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMsg {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Absolute time the first byte may enter the fabric — the sender's
+    /// readiness plus any software overhead. May lie in the future
+    /// relative to the current instant (never in the past).
+    pub earliest: SimTime,
 }
 
 /// A live fabric: topology + per-link dynamic state.
 pub struct Network {
     sim: Sim,
     topo: Box<dyn Topology>,
-    links: RefCell<Vec<LinkState>>,
+    links: RefCell<LinkStates>,
     rng: RefCell<SimRng>,
     fault: Cell<FaultModel>,
-    node_faults: RefCell<Vec<NodeFault>>,
+    node_faults: RefCell<NodeFaults>,
+    /// Reused route buffer for the batch path (one allocation per
+    /// fabric, not one per message).
+    route_scratch: RefCell<Vec<LinkId>>,
     /// Maximum transmission unit for segmentation (bytes).
     mtu: u64,
     /// Bandwidth for node-local (src == dst) copies.
@@ -101,23 +162,15 @@ impl Network {
     /// Wrap a topology. `rng_stream` keys this fabric's fault randomness.
     pub fn new(sim: &Sim, topo: Box<dyn Topology>, mtu: u64, rng_stream: u64) -> Self {
         let specs = topo.link_specs();
-        let links = specs
-            .iter()
-            .map(|_| LinkState {
-                busy_until: SimTime::ZERO,
-                bytes_carried: 0,
-                messages: 0,
-                busy_accum: SimDuration::ZERO,
-            })
-            .collect();
         let n_nodes = topo.num_nodes();
         Network {
             sim: sim.clone(),
+            links: RefCell::new(LinkStates::new(specs.len())),
             topo,
-            links: RefCell::new(links),
             rng: RefCell::new(sim.fork_rng(rng_stream)),
             fault: Cell::new(FaultModel::default()),
-            node_faults: RefCell::new(vec![NodeFault::default(); n_nodes]),
+            node_faults: RefCell::new(NodeFaults::new(n_nodes)),
+            route_scratch: RefCell::new(Vec::with_capacity(8)),
             mtu: mtu.max(64),
             loopback_bps: 8e9, // a memcpy-grade intra-node path
             specs,
@@ -141,7 +194,14 @@ impl Network {
     /// Mark a node as crashed (`down = true`) or repaired. While down,
     /// every transfer to or from the node fails with a [`LinkFailure`].
     pub fn set_node_down(&self, node: NodeId, down: bool) {
-        self.node_faults.borrow_mut()[node.0 as usize].down = down;
+        {
+            let mut nf = self.node_faults.borrow_mut();
+            let i = node.0 as usize;
+            let was = nf.is_faulty(i);
+            nf.down[i] = down;
+            let is = nf.is_faulty(i);
+            nf.active = nf.active + usize::from(is && !was) - usize::from(was && !is);
+        }
         self.sim
             .emit("net", if down { "node-down" } else { "node-up" }, || {
                 format!("node {}", node.0)
@@ -150,14 +210,19 @@ impl Network {
 
     /// True if the node is currently marked crashed.
     pub fn is_node_down(&self, node: NodeId) -> bool {
-        self.node_faults.borrow()[node.0 as usize].down
+        self.node_faults.borrow().down[node.0 as usize]
     }
 
     /// Set the probability that this node's NIC drops a whole message
     /// (sampled once per transfer touching the node; 0.0 to heal).
     pub fn set_node_drop_prob(&self, node: NodeId, p: f64) {
         assert!((0.0..=1.0).contains(&p), "drop probability out of range");
-        self.node_faults.borrow_mut()[node.0 as usize].drop_prob = p;
+        let mut nf = self.node_faults.borrow_mut();
+        let i = node.0 as usize;
+        let was = nf.is_faulty(i);
+        nf.drop_prob[i] = p;
+        let is = nf.is_faulty(i);
+        nf.active = nf.active + usize::from(is && !was) - usize::from(was && !is);
     }
 
     /// Override the loopback (intra-node) copy bandwidth.
@@ -182,7 +247,8 @@ impl Network {
 
     /// Route length in hops between two endpoints.
     pub fn hop_count(&self, src: NodeId, dst: NodeId) -> u32 {
-        let mut path = Vec::new();
+        let mut path = self.route_scratch.borrow_mut();
+        path.clear();
         self.topo.route(src, dst, &mut path);
         path.len() as u32
     }
@@ -208,15 +274,20 @@ impl Network {
 
         // Injected node crashes: a transfer touching a down node fails
         // after the sender has already burned its send overhead (the
-        // local software stack cannot know the peer died).
+        // local software stack cannot know the peer died). With no fault
+        // anywhere in the fabric (the common case) this is one counter
+        // test, not two reads into megabyte-scale per-node arrays.
         let (down, drop_prob) = {
             let nf = self.node_faults.borrow();
-            let s = nf[src.0 as usize];
-            let d = nf[dst.0 as usize];
-            (
-                s.down || d.down,
-                1.0 - (1.0 - s.drop_prob) * (1.0 - d.drop_prob),
-            )
+            if nf.active == 0 {
+                (false, 0.0)
+            } else {
+                let (s, d) = (src.0 as usize, dst.0 as usize);
+                (
+                    nf.down[s] || nf.down[d],
+                    1.0 - (1.0 - nf.drop_prob[s]) * (1.0 - nf.drop_prob[d]),
+                )
+            }
         };
 
         if src == dst {
@@ -309,22 +380,7 @@ impl Network {
         let completion = {
             let now = self.sim.now();
             let mut links = self.links.borrow_mut();
-            let mut head = now; // when the header reaches the next link
-            let mut completion = now;
-            for &lid in &path {
-                let spec = self.specs[lid.0 as usize];
-                let st = &mut links[lid.0 as usize];
-                let occupancy_start = head.max(st.busy_until);
-                let ser = spec.serialization(effective_bytes);
-                st.busy_until = occupancy_start + ser;
-                st.busy_accum += ser;
-                st.bytes_carried += effective_bytes;
-                st.messages += 1;
-                let last_byte_arrival = occupancy_start + ser + spec.latency;
-                completion = completion.max(last_byte_arrival);
-                head = occupancy_start + spec.latency;
-            }
-            completion
+            Self::occupy_route(&mut links, &self.specs, &path, effective_bytes, now)
         };
 
         self.sim.sleep_until(completion).await;
@@ -340,34 +396,141 @@ impl Network {
         })
     }
 
-    /// Total bytes carried per link so far (diagnostics).
-    pub fn link_bytes(&self) -> Vec<u64> {
-        self.links
-            .borrow()
-            .iter()
-            .map(|l| l.bytes_carried)
-            .collect()
+    /// Advance the cut-through occupancy of every link on `route` for one
+    /// message of `bytes`, first byte entering no earlier than `head`.
+    /// Returns the last-byte arrival at the destination. Pure function of
+    /// the link horizons — shared by the per-message path and the batch
+    /// path so both produce identical timings.
+    #[inline]
+    fn occupy_route(
+        links: &mut LinkStates,
+        specs: &[crate::types::LinkSpec],
+        route: &[LinkId],
+        bytes: u64,
+        head: SimTime,
+    ) -> SimTime {
+        let mut head = head; // when the header reaches the next link
+        let mut completion = head;
+        for &lid in route {
+            let i = lid.0 as usize;
+            let spec = specs[i];
+            let occupancy_start = head.max(links.busy_until[i]);
+            let ser = spec.serialization(bytes);
+            links.busy_until[i] = occupancy_start + ser;
+            links.busy_accum[i] += ser;
+            links.bytes_carried[i] += bytes;
+            links.messages[i] += 1;
+            let last_byte_arrival = occupancy_start + ser + spec.latency;
+            completion = completion.max(last_byte_arrival);
+            head = occupancy_start + spec.latency;
+        }
+        completion
     }
 
-    /// Busy-time fraction of each link relative to `elapsed`.
+    /// Simulate a batch of independent same-epoch transfers in one call,
+    /// without suspending: link occupancies are advanced message by
+    /// message **in slice order** (so the schedule is a pure function of
+    /// the batch, bit-identical on every run) and `completions[i]`
+    /// receives message `i`'s last-byte arrival. Returns the overall
+    /// latest completion, which is the single instant a caller needs to
+    /// sleep until — one kernel event for the whole batch instead of one
+    /// (or several) per message.
+    ///
+    /// This is the scaling path for fabric-wide phases (halo exchanges,
+    /// collective rounds at 10⁵ ranks): semantics match issuing the
+    /// messages through [`Network::transfer`] at their `earliest`
+    /// instants in slice order, minus what the batch path deliberately
+    /// does not model — endpoint overheads (fold them into `earliest`
+    /// and onto the returned completion) and fault injection (the batch
+    /// path is for clean bulk phases; debug builds assert no fault model
+    /// or node fault is active).
+    ///
+    /// Messages may depend on the future (`earliest >= now` is
+    /// required); loopback messages cost the node-local copy time and
+    /// touch no links.
+    pub fn schedule_batch(&self, msgs: &[BatchMsg], completions: &mut Vec<SimTime>) -> SimTime {
+        let now = self.sim.now();
+        debug_assert_eq!(
+            self.fault.get().segment_error_rate,
+            0.0,
+            "schedule_batch does not sample the fault model"
+        );
+        debug_assert_eq!(
+            self.node_faults.borrow().active,
+            0,
+            "schedule_batch does not model node faults"
+        );
+        completions.clear();
+        completions.reserve(msgs.len());
+        let mut links = self.links.borrow_mut();
+        let mut route = self.route_scratch.borrow_mut();
+        let mut overall = now;
+        for m in msgs {
+            debug_assert!(m.earliest >= now, "batch message scheduled in the past");
+            let head = m.earliest.max(now);
+            let done = if m.src == m.dst {
+                head + SimDuration::from_secs_f64(m.bytes as f64 / self.loopback_bps)
+            } else {
+                route.clear();
+                self.topo.route(m.src, m.dst, &mut route);
+                Self::occupy_route(&mut links, &self.specs, &route, m.bytes.max(1), head)
+            };
+            completions.push(done);
+            overall = overall.max(done);
+        }
+        overall
+    }
+
+    /// Total bytes carried per link so far (diagnostics). Allocates;
+    /// prefer [`Network::link_bytes_into`] in loops.
+    pub fn link_bytes(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.link_bytes_into(&mut out);
+        out
+    }
+
+    /// Write the per-link byte counters into a caller-owned buffer
+    /// (cleared first), so periodic samplers reuse one allocation no
+    /// matter how many links the fabric has.
+    pub fn link_bytes_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.links.borrow().bytes_carried);
+    }
+
+    /// Busy-time fraction of each link relative to `elapsed`. Allocates;
+    /// prefer [`Network::link_utilization_into`] in loops.
     pub fn link_utilization(&self, elapsed: SimDuration) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.link_utilization_into(elapsed, &mut out);
+        out
+    }
+
+    /// Write per-link busy fractions into a caller-owned buffer
+    /// (cleared first).
+    pub fn link_utilization_into(&self, elapsed: SimDuration, out: &mut Vec<f64>) {
         let e = elapsed.as_secs_f64();
-        self.links
-            .borrow()
-            .iter()
-            .map(|l| {
+        let links = self.links.borrow();
+        out.clear();
+        out.reserve(links.busy_accum.len());
+        out.extend(links.busy_accum.iter().map(
+            |b| {
                 if e > 0.0 {
-                    l.busy_accum.as_secs_f64() / e
+                    b.as_secs_f64() / e
                 } else {
                     0.0
                 }
-            })
-            .collect()
+            },
+        ));
+    }
+
+    /// Number of directed links in the fabric.
+    pub fn num_links(&self) -> usize {
+        self.specs.len()
     }
 
     /// Total messages carried across all links.
     pub fn total_messages(&self) -> u64 {
-        self.links.borrow().iter().map(|l| l.messages).sum()
+        self.links.borrow().messages.iter().sum()
     }
 }
 
@@ -618,6 +781,104 @@ mod tests {
         });
         sim.run().assert_completed();
         assert_eq!(h.try_result(), Some(100));
+    }
+
+    #[test]
+    fn batch_matches_sequential_transfers() {
+        // Two messages sharing one directed link: the batch path must
+        // produce exactly the serialized schedule `transfer` would —
+        // first message done at ser+lat, second queued behind it.
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 500);
+        sim.spawn("batch", async move {
+            let msgs = [
+                BatchMsg {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bytes: 1_000_000,
+                    earliest: SimTime::ZERO,
+                },
+                BatchMsg {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bytes: 1_000_000,
+                    earliest: SimTime::ZERO,
+                },
+            ];
+            let mut done = Vec::new();
+            let overall = net.schedule_batch(&msgs, &mut done);
+            // 1 MB at 1 GB/s = 1 ms serialization + 500 ns latency;
+            // the second occupancy starts when the first ends.
+            assert_eq!(done[0].as_nanos(), 1_000_000 + 500);
+            assert_eq!(done[1].as_nanos(), 2_000_000 + 500);
+            assert_eq!(overall, done[1]);
+            net.sim().sleep_until(overall).await;
+            assert_eq!(net.link_bytes().iter().sum::<u64>(), 2_000_000);
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn batch_respects_per_message_earliest() {
+        // A message whose `earliest` lies beyond the backlog of the
+        // shared link starts at its own earliest, not at the backlog.
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 3, 1e9, 0);
+        sim.spawn("batch", async move {
+            let msgs = [
+                BatchMsg {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bytes: 1_000,
+                    earliest: SimTime(5_000),
+                },
+                // Different link pair: unaffected by the first message.
+                BatchMsg {
+                    src: NodeId(2),
+                    dst: NodeId(1),
+                    bytes: 1_000,
+                    earliest: SimTime::ZERO,
+                },
+                // Loopback: node-local copy, no fabric links.
+                BatchMsg {
+                    src: NodeId(2),
+                    dst: NodeId(2),
+                    bytes: 8_000,
+                    earliest: SimTime::ZERO,
+                },
+            ];
+            let mut done = Vec::new();
+            net.schedule_batch(&msgs, &mut done);
+            assert_eq!(done[0].as_nanos(), 5_000 + 1_000);
+            assert_eq!(done[1].as_nanos(), 1_000);
+            assert_eq!(done[2].as_nanos(), 1_000); // 8 kB at 8 GB/s
+        });
+        sim.run().assert_completed();
+    }
+
+    #[test]
+    fn link_bytes_into_reuses_the_buffer() {
+        let mut sim = Simulation::new(1);
+        let ctx = sim.handle();
+        let net = mk(&ctx, 2, 1e9, 0);
+        let n = net.clone();
+        sim.spawn("xfer", async move {
+            n.transfer(NodeId(0), NodeId(1), 1_000, EndpointOverhead::default())
+                .await
+                .unwrap();
+        });
+        sim.run().assert_completed();
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        net.link_bytes_into(&mut buf);
+        assert_eq!(buf.iter().sum::<u64>(), 1_000);
+        assert_eq!(buf.capacity(), cap, "sampler buffer must be reused");
+        let mut util = Vec::new();
+        net.link_utilization_into(SimDuration::micros(2), &mut util);
+        // 1 us of busy time over 2 us elapsed on the used link.
+        assert!(util.iter().any(|&u| (u - 0.5).abs() < 1e-9));
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod trace;
 
 pub use run::{cache_key, execute};
 pub use schema::{
-    AppSpec, FaultSpec, FlapSpec, IntervalSpec, MachineSpec, PoissonSpec, Scenario, SweepAxis,
-    TraceSpec,
+    AppSpec, FaultSpec, FlapSpec, IntervalSpec, MachineSpec, PoissonSpec, ResilienceApp,
+    ScalabilityApp, Scenario, SweepAxis, TraceSpec,
 };
 pub use toml::{parse as parse_toml, to_toml};
 pub use trace::{replay, TraceResult, UtilSample};

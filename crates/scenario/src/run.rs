@@ -8,11 +8,12 @@
 //! and sweep points are evaluated with `par_sweep` (input-order
 //! results), so output is bit-identical at any `RAYON_NUM_THREADS`.
 
+use deep_bench::des_scaling::{self, DesScalingConfig};
 use deep_core::resilience::{daly_optimum, mean_efficiency, ResilienceParams};
 use deep_faults::plan::{Domain, FaultEvent, FaultKind};
 use deep_json::{object, Value};
 
-use crate::schema::{IntervalSpec, Scenario};
+use crate::schema::{AppSpec, IntervalSpec, ResilienceApp, ScalabilityApp, Scenario};
 
 /// The cache key shared by `run_scenario --cache-dir` and the
 /// `deep-serve` result cache: the digest of `{"scenario": <doc>}`,
@@ -71,9 +72,52 @@ pub fn execute(sc: &Scenario) -> Value {
     Value::Object(members)
 }
 
-/// Evaluate the app skeleton over the sweep cross-product × intervals.
+/// Evaluate the app skeleton over its sweep points.
 fn run_sweep(sc: &Scenario) -> Value {
-    let app = sc.app.as_ref().expect("run_sweep requires an app block");
+    match sc.app.as_ref().expect("run_sweep requires an app block") {
+        AppSpec::Resilience(app) => run_resilience_sweep(sc, app),
+        AppSpec::Scalability(app) => run_scalability_sweep(sc, app),
+    }
+}
+
+/// The `scalability` skeleton: one full-DES weak-scaling run per rank
+/// point, each row carrying the LogGP model's per-iteration prediction
+/// beside the measurement and the run's summary digest (the value the
+/// determinism goldens pin).
+fn run_scalability_sweep(sc: &Scenario, app: &ScalabilityApp) -> Value {
+    let points = sc.scalability_points();
+    let model = deep_psmpi::NetModel::ib_fdr();
+    let rows = deep_bench::sweep::par_sweep(&points, |_, &ranks| {
+        let r = des_scaling::run(DesScalingConfig {
+            ranks,
+            iters: app.iters,
+            complex: app.complex,
+            seed: sc.seed,
+        });
+        let model_iter_s =
+            des_scaling::analytic_iter(&model, u64::from(ranks), app.complex).as_secs_f64();
+        object([
+            ("ranks", u64::from(r.ranks).into()),
+            ("iters", u64::from(r.iters).into()),
+            ("segments", u64::from(r.segments).into()),
+            ("iter_s", r.iter_s.into()),
+            ("model_iter_s", model_iter_s.into()),
+            ("messages", r.messages.into()),
+            ("kernel_events", r.kernel_events.into()),
+            ("digest", format!("{:#018x}", r.digest).into()),
+        ])
+    });
+    object([
+        ("skeleton", "scalability".into()),
+        ("class", if app.complex { "complex" } else { "spmv" }.into()),
+        ("points", (points.len() as u64).into()),
+        ("rows", Value::Array(rows)),
+    ])
+}
+
+/// Evaluate the resilience skeleton over the sweep cross-product ×
+/// intervals.
+fn run_resilience_sweep(sc: &Scenario, app: &ResilienceApp) -> Value {
     let points = sc
         .sweep_points()
         .expect("sweep points validated at parse time");

@@ -77,11 +77,39 @@ impl MachineSpec {
     }
 }
 
+/// An application skeleton the scenario evaluates: either the
+/// checkpoint/restart maths or the full-DES weak-scaling run.
+#[derive(Debug, Clone)]
+pub enum AppSpec {
+    /// `skeleton = "resilience"` — checkpoint/restart efficiency.
+    Resilience(ResilienceApp),
+    /// `skeleton = "scalability"` — the partitioned full-DES
+    /// weak-scaling skeleton (`deep_bench::des_scaling`).
+    Scalability(ScalabilityApp),
+}
+
+/// The `scalability` app skeleton: the F09 communication skeleton
+/// (ring halo + allreduce, optionally plus a pairwise all-to-all)
+/// simulated end-to-end on the discrete-event engine over a full-size
+/// IB fat tree. Deterministic — `replicas` is ignored — and the
+/// machine block only names the scenario's context (the fabric is
+/// sized from the rank count).
+#[derive(Debug, Clone)]
+pub struct ScalabilityApp {
+    /// Base rank count (power of two), used when no `ranks` sweep axis
+    /// is declared.
+    pub ranks: u32,
+    /// Iterations to simulate per point.
+    pub iters: u32,
+    /// Add the complex class's pairwise all-to-all phase.
+    pub complex: bool,
+}
+
 /// The `resilience` app skeleton: checkpoint/restart efficiency under
 /// node failures, identical maths to the `f03b_resilience` registry
 /// experiment.
 #[derive(Debug, Clone)]
-pub struct AppSpec {
+pub struct ResilienceApp {
     /// Total useful work per run, seconds.
     pub work_s: f64,
     /// Per-node MTBF, seconds.
@@ -241,7 +269,7 @@ impl Scenario {
             None => None,
             Some(_) => Some(parse_app(require_table(doc, "app")?)?),
         };
-        let sweep = parse_sweep(doc)?;
+        let sweep = parse_sweep(doc, app.as_ref())?;
         if !sweep.is_empty() && app.is_none() {
             return Err("sweep requires an 'app' block".to_string());
         }
@@ -266,14 +294,52 @@ impl Scenario {
             doc: doc.clone(),
         };
         sc.sweep_points()?; // surface point-count errors at validation time
+        sc.check_scalability_budget()?;
         Ok(sc)
+    }
+
+    /// Reject scalability runs whose simulated message count would be
+    /// unreasonably large — scenario documents arrive from untrusted
+    /// daemon peers, and the complex class is quadratic in ranks.
+    fn check_scalability_budget(&self) -> Result<(), String> {
+        let Some(AppSpec::Scalability(app)) = &self.app else {
+            return Ok(());
+        };
+        let mut est: u128 = 0;
+        for &r in &self.scalability_points() {
+            let (r, log2) = (r as u128, r.trailing_zeros() as u128);
+            let mut per_iter = (2 + log2) * r; // two halo dirs + allreduce rounds
+            if app.complex {
+                per_iter += r * (r - 1); // pairwise all-to-all rounds
+            }
+            est += per_iter * app.iters as u128;
+        }
+        if est > 1 << 28 {
+            return Err(
+                "app: scalability run too large (estimated messages exceed 2^28)".to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Rank counts the scalability skeleton evaluates: the `ranks`
+    /// sweep axis values in declaration order, or the app's base rank
+    /// count when no axis is declared. Empty for other skeletons.
+    pub fn scalability_points(&self) -> Vec<u32> {
+        let Some(AppSpec::Scalability(app)) = &self.app else {
+            return Vec::new();
+        };
+        match self.sweep.iter().find(|a| a.param == "ranks") {
+            Some(axis) => axis.values.iter().map(|&v| v as u32).collect(),
+            None => vec![app.ranks],
+        }
     }
 
     /// The cross product of all sweep axes as `ResilienceParams`
     /// (first axis outermost). With no axes, a single point built from
     /// the app block.
     pub fn sweep_points(&self) -> Result<Vec<ResilienceParams>, String> {
-        let Some(app) = &self.app else {
+        let Some(AppSpec::Resilience(app)) = &self.app else {
             return Ok(Vec::new());
         };
         let cfg = self.machine.config();
@@ -508,6 +574,36 @@ fn parse_machine(doc: &Value) -> Result<MachineSpec, String> {
 }
 
 fn parse_app(table: &Value) -> Result<AppSpec, String> {
+    match require_str(table, "app", "skeleton")? {
+        "resilience" => Ok(AppSpec::Resilience(parse_resilience_app(table)?)),
+        "scalability" => Ok(AppSpec::Scalability(parse_scalability_app(table)?)),
+        skeleton => Err(format!(
+            "app: unknown skeleton '{skeleton}' (use 'resilience' or 'scalability')"
+        )),
+    }
+}
+
+fn parse_scalability_app(table: &Value) -> Result<ScalabilityApp, String> {
+    check_keys(table, "app", &["skeleton", "ranks", "iters", "complex"])?;
+    let ranks = match range_u64(table, "app", "ranks", 2, 262_144)? {
+        None => 64,
+        Some(r) if r.is_power_of_two() => r as u32,
+        Some(_) => return Err("app.ranks: must be a power of two".to_string()),
+    };
+    let iters = range_u64(table, "app", "iters", 1, 8)?.unwrap_or(1) as u32;
+    let complex = match table.get("complex") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("app.complex: expected a boolean".to_string()),
+    };
+    Ok(ScalabilityApp {
+        ranks,
+        iters,
+        complex,
+    })
+}
+
+fn parse_resilience_app(table: &Value) -> Result<ResilienceApp, String> {
     check_keys(
         table,
         "app",
@@ -521,12 +617,6 @@ fn parse_app(table: &Value) -> Result<AppSpec, String> {
             "intervals",
         ],
     )?;
-    let skeleton = require_str(table, "app", "skeleton")?;
-    if skeleton != "resilience" {
-        return Err(format!(
-            "app: unknown skeleton '{skeleton}' (only 'resilience' is available)"
-        ));
-    }
     let intervals = match table.get("intervals") {
         None => vec![IntervalSpec::DalyTimes(1.0)],
         Some(Value::Array(items)) if !items.is_empty() => {
@@ -546,7 +636,7 @@ fn parse_app(table: &Value) -> Result<AppSpec, String> {
         }
         Some(_) => return Err("app.intervals: expected an array".to_string()),
     };
-    Ok(AppSpec {
+    Ok(ResilienceApp {
         work_s: positive_f64(table, "app", "work_s")?,
         mtbf_node_s: positive_f64(table, "app", "mtbf_node_s")?,
         checkpoint_s: positive_f64(table, "app", "checkpoint_s")?,
@@ -587,7 +677,7 @@ fn parse_interval(item: &Value) -> Result<IntervalSpec, String> {
     }
 }
 
-fn parse_sweep(doc: &Value) -> Result<Vec<SweepAxis>, String> {
+fn parse_sweep(doc: &Value, app: Option<&AppSpec>) -> Result<Vec<SweepAxis>, String> {
     let Some(sweep) = doc.get("sweep") else {
         return Ok(Vec::new());
     };
@@ -597,6 +687,7 @@ fn parse_sweep(doc: &Value) -> Result<Vec<SweepAxis>, String> {
         Some(Value::Array(items)) => items,
         Some(_) => return Err("sweep.axes: expected an array of tables".to_string()),
     };
+    let scalability = matches!(app, Some(AppSpec::Scalability(_)));
     let mut out: Vec<SweepAxis> = Vec::with_capacity(axes.len());
     for axis in axes {
         let param = require_str(axis, "sweep axis", "param")?;
@@ -604,9 +695,16 @@ fn parse_sweep(doc: &Value) -> Result<Vec<SweepAxis>, String> {
         check_keys(axis, &section, &["param", "values", "grid"])?;
         if !matches!(
             param,
-            "n_nodes" | "work_s" | "mtbf_node_s" | "checkpoint_s" | "restart_s"
+            "n_nodes" | "work_s" | "mtbf_node_s" | "checkpoint_s" | "restart_s" | "ranks"
         ) {
             return Err(format!("sweep axis '{param}': unknown parameter"));
+        }
+        if (param == "ranks") != scalability {
+            return Err(if scalability {
+                format!("sweep axis '{param}': the 'scalability' skeleton only sweeps 'ranks'")
+            } else {
+                "sweep axis 'ranks': requires the 'scalability' skeleton".to_string()
+            });
         }
         if out.iter().any(|a| a.param == param) {
             return Err(format!("sweep: duplicate axis '{param}'"));
@@ -669,7 +767,19 @@ fn parse_sweep(doc: &Value) -> Result<Vec<SweepAxis>, String> {
         } else {
             return Err(format!("sweep axis '{param}': needs 'values' or 'grid'"));
         };
-        if param == "n_nodes" {
+        if param == "ranks" {
+            for &v in &values {
+                let ok = v.fract() == 0.0
+                    && (2.0..=262_144.0).contains(&v)
+                    && (v as u64).is_power_of_two();
+                if !ok {
+                    return Err(
+                        "sweep axis 'ranks': values must be powers of two in 2..=262144"
+                            .to_string(),
+                    );
+                }
+            }
+        } else if param == "n_nodes" {
             for &v in &values {
                 if v.fract() != 0.0 || v < 1.0 {
                     return Err(

@@ -20,6 +20,11 @@
 # serve_bench measures daemon throughput (jobs/s, cached vs uncached)
 # for the report's `serve` block.
 #
+# des_scaling_bench runs the full-DES weak-scaling skeleton (65,536
+# ranks) for the report's `des_scaling` block, first comparing the run's
+# summary digest at 1 and N threads — a refreshed report cannot ship a
+# nondeterministic engine.
+#
 # bench_report is a gate, not just a formatter: on a host with >= 2
 # cores it exits non-zero when the N-thread suite is slower than the
 # 1-thread suite (or the N-thread row is missing), so a scheduler
@@ -65,7 +70,18 @@ head -10 target/suite_profile.txt
 echo "==> serve_bench (daemon jobs/s, cached vs uncached)"
 cargo run -q --release -p deep-serve --bin serve_bench > target/serve_bench.json
 
+echo "==> des_scaling_bench (full-DES weak scaling, digest across thread counts)"
+cargo build -q --release -p deep-bench --bin des_scaling_bench
+RAYON_NUM_THREADS=1 ./target/release/des_scaling_bench --digest-only \
+    > target/des_digest_1.txt
+RAYON_NUM_THREADS="$NT" ./target/release/des_scaling_bench --digest-only \
+    > target/des_digest_n.txt
+cmp target/des_digest_1.txt target/des_digest_n.txt
+RAYON_NUM_THREADS="$NT" ./target/release/des_scaling_bench \
+    --json target/des_scaling.json
+
 echo "==> bench_report"
 cargo run -q --release -p deep-bench --bin bench_report -- "$JSONL" BENCH_engine.json \
-    --serve target/serve_bench.json --nproc "$(nproc)" \
+    --serve target/serve_bench.json --des-scaling target/des_scaling.json \
+    --nproc "$(nproc)" \
     target/suite_1thread.json target/suite_nthreads.json
