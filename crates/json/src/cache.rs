@@ -123,12 +123,16 @@ impl ResultCache {
             },
         );
         while self.slots.len() > self.capacity {
-            let coldest = self
+            let Some(coldest) = self
                 .slots
                 .iter()
                 .min_by_key(|(_, s)| s.stamp)
                 .map(|(&d, _)| d)
-                .expect("non-empty over capacity");
+            else {
+                // Unreachable (len > capacity ≥ 0 implies non-empty),
+                // and an under-full cache is not worth a panic.
+                break;
+            };
             self.slots.remove(&coldest);
             self.stats.evictions += 1;
         }

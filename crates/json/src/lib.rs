@@ -560,7 +560,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is ASCII (digits, sign, dot, exponent), so
+        // this cannot fail — but a parse error beats aborting a daemon.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.err("invalid number"))

@@ -1,0 +1,406 @@
+//! The incremental summary cache (DESIGN.md §17).
+//!
+//! Key: FNV-1a-64 over `(path, contents, schema version)` — content
+//! addressed, so `touch` does not invalidate and a schema bump
+//! invalidates everything. Value: the file's [`FileSummary`], including
+//! its file-local findings computed at the file's *full* path mask (the
+//! enabled-rule filter is applied at report time, so one cache serves
+//! every `--only`/`--skip` combination).
+//!
+//! The on-disk format is a deliberately boring line/tab text format
+//! rather than deep_json: the cache exists to make warm runs fast, and
+//! a hand-rolled split-parse is an order of magnitude quicker than a
+//! recursive-descent JSON parse in debug builds, where the lint gate
+//! actually runs. Any parse irregularity — wrong header, short record,
+//! bad number — discards the whole cache and falls back to a cold scan;
+//! a cache can only ever cost a re-lex, never correctness.
+
+use crate::items::{CallRef, Callee, FileSummary, FnItem, SinkKind, SinkRef, SourceRef};
+use crate::rules::{Finding, Rule};
+use std::io;
+use std::path::Path;
+
+/// Bump whenever `FileSummary`, a rule's semantics, or this format
+/// changes: the digest folds it in, so old entries simply miss.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const HEADER: &str = "deep-lint-cache v1";
+
+/// Content-addressed cache key for one file.
+pub fn digest(rel: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [
+        rel.as_bytes(),
+        &[0u8],
+        source.as_bytes(),
+        &SCHEMA_VERSION.to_le_bytes()[..],
+    ] {
+        for &b in chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Digest of the whole scan — the fold of every per-file digest in
+/// scan order. Keys the interprocedural-findings memo: if no file
+/// changed, the call graph cannot have changed, so the D4/D5/P1 pass
+/// need not re-run.
+pub fn workspace_digest(entries: &[(u64, FileSummary)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (dg, s) in entries {
+        for chunk in [&dg.to_le_bytes()[..], s.rel.as_bytes(), &[0u8]] {
+            for &b in chunk {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// A parsed cache file: per-file summaries plus, when present, the
+/// memoized interprocedural findings (computed at the full rule set;
+/// filtered by the enabled set at report time, like `local_findings`).
+pub struct CacheDoc {
+    pub entries: Vec<(u64, FileSummary)>,
+    pub workspace: Option<(u64, Vec<Finding>)>,
+}
+
+fn esc(s: &str) -> String {
+    if !s.contains(['\\', '\t', '\n']) {
+        return s.to_string();
+    }
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    if !s.contains('\\') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serialize every `(digest, summary)` entry plus the workspace-level
+/// findings memo to `path`.
+pub fn save(path: &Path, entries: &[(u64, FileSummary)], workspace: &[Finding]) -> io::Result<()> {
+    let mut out = String::with_capacity(entries.len() * 256);
+    out.push_str(HEADER);
+    out.push('\n');
+    for (dg, s) in entries {
+        out.push_str(&format!(
+            "F\t{dg:016x}\t{}\t{}\n",
+            esc(&s.rel),
+            esc(&s.krate)
+        ));
+        for f in &s.fns {
+            out.push_str(&format!(
+                "f\t{}\t{}\t{}\t{}\t{}\n",
+                f.line,
+                esc(&f.name),
+                if f.module.is_empty() {
+                    "-".to_string()
+                } else {
+                    esc(&f.module.join("."))
+                },
+                f.impl_type
+                    .as_deref()
+                    .map(esc)
+                    .unwrap_or_else(|| "-".into()),
+                f.is_async as u8,
+            ));
+        }
+        for c in &s.calls {
+            let (kind, payload) = match &c.callee {
+                Callee::Path(segs) => ('p', segs.join("::")),
+                Callee::Method(m) => ('m', m.clone()),
+                Callee::Free(f) => ('r', f.clone()),
+            };
+            out.push_str(&format!(
+                "c\t{}\t{}\t{}\t{}\t{kind}\t{}\n",
+                c.from,
+                c.line,
+                c.guarded as u8,
+                c.awaited as u8,
+                esc(&payload)
+            ));
+        }
+        for src in &s.sources {
+            out.push_str(&format!(
+                "s\t{}\t{}\t{}\n",
+                src.from,
+                src.line,
+                esc(&src.what)
+            ));
+        }
+        for x in &s.sinks {
+            let k = match x.kind {
+                SinkKind::Unwrap => 'u',
+                SinkKind::Expect => 'e',
+                SinkKind::MapIndex => 'i',
+            };
+            out.push_str(&format!(
+                "x\t{}\t{}\t{k}\t{}\n",
+                x.from, x.line, x.guarded as u8
+            ));
+        }
+        for (alias, segs) in &s.uses {
+            out.push_str(&format!("u\t{}\t{}\n", esc(alias), esc(&segs.join("::"))));
+        }
+        for (line, rules) in &s.allows {
+            let names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+            out.push_str(&format!("a\t{line}\t{}\n", names.join(",")));
+        }
+        for f in &s.local_findings {
+            out.push_str(&format!(
+                "l\t{}\t{}\t{}\n",
+                f.line,
+                f.rule.name(),
+                esc(&f.message)
+            ));
+        }
+    }
+    out.push_str(&format!("W\t{:016x}\n", workspace_digest(entries)));
+    for f in workspace {
+        out.push_str(&format!(
+            "w\t{}\t{}\t{}\t{}\n",
+            esc(&f.path),
+            f.line,
+            f.rule.name(),
+            esc(&f.message)
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+/// Parse a cache file. Returns `None` on any irregularity: the caller
+/// falls back to a cold scan.
+pub fn load(path: &Path) -> Option<CacheDoc> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let mut out: Vec<(u64, FileSummary)> = Vec::new();
+    let mut workspace: Option<(u64, Vec<Finding>)> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        if tag == "F" {
+            let dg = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let rel = unesc(parts.next()?);
+            let krate = unesc(parts.next()?);
+            out.push((
+                dg,
+                FileSummary {
+                    rel,
+                    krate,
+                    ..FileSummary::default()
+                },
+            ));
+            continue;
+        }
+        if tag == "W" {
+            let dg = u64::from_str_radix(parts.next()?, 16).ok()?;
+            workspace = Some((dg, Vec::new()));
+            continue;
+        }
+        if tag == "w" {
+            let (_, ws) = workspace.as_mut()?;
+            let path = unesc(parts.next()?);
+            let line_no: u32 = parts.next()?.parse().ok()?;
+            let rule = Rule::from_name(parts.next()?)?;
+            ws.push(Finding {
+                path,
+                line: line_no,
+                rule,
+                message: unesc(parts.next()?),
+            });
+            continue;
+        }
+        let (_, cur) = out.last_mut()?;
+        match tag {
+            "f" => {
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let name = unesc(parts.next()?);
+                let module = match parts.next()? {
+                    "-" => Vec::new(),
+                    m => unesc(m).split('.').map(str::to_string).collect(),
+                };
+                let impl_type = match parts.next()? {
+                    "-" => None,
+                    t => Some(unesc(t)),
+                };
+                let is_async = parts.next()? == "1";
+                cur.fns.push(FnItem {
+                    name,
+                    module,
+                    impl_type,
+                    line: line_no,
+                    is_async,
+                });
+            }
+            "c" => {
+                let from: usize = parts.next()?.parse().ok()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let guarded = parts.next()? == "1";
+                let awaited = parts.next()? == "1";
+                let kind = parts.next()?;
+                let payload = unesc(parts.next()?);
+                let callee = match kind {
+                    "p" => Callee::Path(payload.split("::").map(str::to_string).collect()),
+                    "m" => Callee::Method(payload),
+                    "r" => Callee::Free(payload),
+                    _ => return None,
+                };
+                cur.calls.push(CallRef {
+                    from,
+                    callee,
+                    line: line_no,
+                    guarded,
+                    awaited,
+                });
+            }
+            "s" => {
+                let from: usize = parts.next()?.parse().ok()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                cur.sources.push(SourceRef {
+                    from,
+                    line: line_no,
+                    what: unesc(parts.next()?),
+                });
+            }
+            "x" => {
+                let from: usize = parts.next()?.parse().ok()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let kind = match parts.next()? {
+                    "u" => SinkKind::Unwrap,
+                    "e" => SinkKind::Expect,
+                    "i" => SinkKind::MapIndex,
+                    _ => return None,
+                };
+                let guarded = parts.next()? == "1";
+                cur.sinks.push(SinkRef {
+                    from,
+                    line: line_no,
+                    kind,
+                    guarded,
+                });
+            }
+            "u" => {
+                let alias = unesc(parts.next()?);
+                let segs = unesc(parts.next()?)
+                    .split("::")
+                    .map(str::to_string)
+                    .collect();
+                cur.uses.push((alias, segs));
+            }
+            "a" => {
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let rules: Option<Vec<Rule>> =
+                    parts.next()?.split(',').map(Rule::from_name).collect();
+                cur.allows.push((line_no, rules?));
+            }
+            "l" => {
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let rule = Rule::from_name(parts.next()?)?;
+                cur.local_findings.push(Finding {
+                    path: cur.rel.clone(),
+                    line: line_no,
+                    rule,
+                    message: unesc(parts.next()?),
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(CacheDoc {
+        entries: out,
+        workspace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+
+    #[test]
+    fn round_trip_preserves_summaries_exactly() {
+        let src = "
+use deep_json::Value;
+// deep-lint: allow(unordered-iter) — corpus
+pub fn f(m: &M) {
+    let t = Instant::now();
+    helper::go();
+    m.get(&1).unwrap();
+    let c = std::panic::catch_unwind(|| risky().unwrap());
+}
+";
+        let mut s = extract("crates/core/src/lib.rs", src);
+        s.local_findings.push(Finding {
+            path: "crates/core/src/lib.rs".to_string(),
+            line: 5,
+            rule: Rule::AmbientAuthority,
+            message: "msg with\ttab and\nnewline".to_string(),
+        });
+        let entries = vec![(digest("crates/core/src/lib.rs", src), s)];
+        let ws = vec![Finding {
+            path: "crates/core/src/lib.rs".to_string(),
+            line: 6,
+            rule: Rule::DeterminismTaint,
+            message: "memoized interprocedural finding".to_string(),
+        }];
+        let dir = std::env::temp_dir().join("deep-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.txt");
+        save(&path, &entries, &ws).unwrap();
+        let loaded = load(&path).expect("cache parses");
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].0, entries[0].0);
+        assert_eq!(loaded.entries[0].1, entries[0].1);
+        let (ws_dg, ws_loaded) = loaded.workspace.expect("memo present");
+        assert_eq!(ws_dg, workspace_digest(&entries));
+        assert_eq!(ws_loaded, ws);
+    }
+
+    #[test]
+    fn digest_depends_on_path_and_content() {
+        assert_ne!(digest("a.rs", "x"), digest("b.rs", "x"));
+        assert_ne!(digest("a.rs", "x"), digest("a.rs", "y"));
+        assert_eq!(digest("a.rs", "x"), digest("a.rs", "x"));
+    }
+
+    #[test]
+    fn malformed_cache_is_rejected_not_trusted() {
+        let dir = std::env::temp_dir().join("deep-lint-cache-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.txt");
+        std::fs::write(&path, "not-a-cache\nF\tzz\n").unwrap();
+        assert!(load(&path).is_none());
+        std::fs::write(&path, format!("{HEADER}\nF\tnothex\trel\tk\n")).unwrap();
+        assert!(load(&path).is_none());
+        std::fs::write(&path, format!("{HEADER}\nq\t1\n")).unwrap();
+        assert!(load(&path).is_none());
+    }
+}

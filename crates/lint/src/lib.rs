@@ -36,11 +36,17 @@
 //! (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) of every non-vendor
 //! package; test and example targets inherit scrutiny from S1 instead.
 
+pub mod cache;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod taint;
 
 pub use rules::{check_crate_root, lint_source, Finding, Rule, RuleSet};
 
+use items::FileSummary;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,31 +74,206 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
     all
 }
 
+/// A full scan's output: findings plus the call graph and cache stats
+/// (for `--graph` and the CI cold/warm speedup gate).
+pub struct ScanResult {
+    pub findings: Vec<Finding>,
+    pub graph: graph::Graph,
+    /// `.rs` files scanned.
+    pub files: usize,
+    /// How many came straight from the incremental cache.
+    pub cache_hits: usize,
+}
+
 /// Walk the workspace at `root` and apply every enabled rule. Findings
 /// come back sorted by path, line, rule. `enabled` masks rules globally
 /// on top of the per-path scope policy.
 pub fn scan_workspace(root: &Path, enabled: &RuleSet) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    Ok(scan_workspace_cached(root, enabled, None, false)?.findings)
+}
+
+/// Like [`scan_workspace`], but with an optional incremental cache
+/// directory and the full [`ScanResult`]. A warm cache skips the
+/// lex + extract + file-local-rules work per unchanged file (the
+/// dominant cost), and when *no* file changed, the memoized
+/// interprocedural findings skip the graph + taint pass too — any
+/// single changed file can re-route the whole graph, so the memo is
+/// keyed by the fold of every per-file digest. `want_graph` forces the
+/// graph to be built even on a full memo hit (for `--graph` /
+/// `--graph-md`); without it, a memo-hit result carries an empty graph.
+pub fn scan_workspace_cached(
+    root: &Path,
+    enabled: &RuleSet,
+    cache_dir: Option<&Path>,
+    want_graph: bool,
+) -> io::Result<ScanResult> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
+    let cache_path = cache_dir.map(|d| d.join(format!("summaries.v{}.txt", cache::SCHEMA_VERSION)));
+    let (cached, ws_memo) = match cache_path.as_ref().and_then(|p| cache::load(p)) {
+        Some(doc) => (
+            doc.entries
+                .into_iter()
+                .map(|(d, s)| (s.rel.clone(), (d, s)))
+                .collect::<BTreeMap<String, (u64, FileSummary)>>(),
+            doc.workspace,
+        ),
+        None => (BTreeMap::new(), None),
+    };
+    let mut entries: Vec<(u64, FileSummary)> = Vec::with_capacity(files.len());
+    let mut hits = 0usize;
+    let mut dirty = cached.len() != files.len();
+    // Crate-root inventory for S2, computed lazily: a fully-warm run
+    // never needs it (S2 findings are cached like any local finding).
+    let mut roots_set: Option<BTreeSet<String>> = None;
     for (abs, rel) in &files {
+        let source = fs::read_to_string(abs)?;
+        let dg = cache::digest(rel, &source);
+        if let Some((cd, cs)) = cached.get(rel) {
+            if *cd == dg {
+                entries.push((dg, cs.clone()));
+                hits += 1;
+                continue;
+            }
+        }
+        dirty = true;
+        let mut s = items::extract(rel, &source);
+        // Local findings are cached at the file's full path mask; the
+        // `enabled` filter is applied at report time below, so one
+        // cache serves every --only/--skip combination.
+        s.local_findings = lint_source(rel, &source, &rules_for_path(rel));
+        let roots = match &roots_set {
+            Some(r) => r,
+            None => roots_set.insert(crate_roots(root)?.into_iter().collect()),
+        };
+        if roots.contains(rel) {
+            s.local_findings.extend(check_crate_root(rel, &source));
+        }
+        entries.push((dg, s));
+    }
+    let ws_digest = cache::workspace_digest(&entries);
+    let memo_hit = !dirty && ws_memo.as_ref().is_some_and(|(d, _)| *d == ws_digest);
+
+    let mut findings: Vec<Finding> = entries
+        .iter()
+        .flat_map(|(_, s)| {
+            s.local_findings
+                .iter()
+                .filter(|f| enabled.has(f.rule))
+                .cloned()
+        })
+        .collect();
+    let (g, ws_all) = if memo_hit && !want_graph {
+        let memoized = ws_memo.map(|(_, f)| f).unwrap_or_default();
+        (graph::Graph::default(), memoized)
+    } else {
+        let deps = workspace_deps(root)?;
+        let summaries: Vec<FileSummary> = entries.iter().map(|(_, s)| s.clone()).collect();
+        let g = graph::build(&summaries, &deps);
+        // Memoized at the full rule set, filtered below — same policy
+        // as the per-file local findings.
+        let ws = taint::workspace_findings(&g, &summaries, &RuleSet::all());
+        (g, ws)
+    };
+    if !memo_hit {
+        if let Some(p) = &cache_path {
+            if let Some(parent) = p.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            cache::save(p, &entries, &ws_all)?;
+        }
+    }
+    findings.extend(ws_all.into_iter().filter(|f| enabled.has(f.rule)));
+    findings.sort();
+    findings.dedup();
+    Ok(ScanResult {
+        findings,
+        graph: g,
+        files: entries.len(),
+        cache_hits: hits,
+    })
+}
+
+/// In-memory analysis of a set of `(rel path, source)` files — the
+/// interprocedural analogue of [`lint_source`], used by the fixture
+/// corpus for cross-file cases. Applies the per-path scope policy, an
+/// empty (permissive) dependency map, and no cache.
+pub fn analyze_sources(files: &[(&str, &str)], enabled: &RuleSet) -> Vec<Finding> {
+    let mut summaries = Vec::with_capacity(files.len());
+    let mut findings = Vec::new();
+    for (rel, source) in files {
         let mask = rules_for_path(rel);
         let effective = Rule::ALL
             .into_iter()
             .filter(|r| mask.has(*r) && enabled.has(*r))
             .fold(RuleSet::none(), RuleSet::with);
-        let source = fs::read_to_string(abs)?;
-        findings.extend(lint_source(rel, &source, &effective));
+        findings.extend(lint_source(rel, source, &effective));
+        summaries.push(items::extract(rel, source));
     }
-    if enabled.has(Rule::MissingForbidUnsafe) {
-        for rel in crate_roots(root)? {
-            let source = fs::read_to_string(root.join(&rel))?;
-            findings.extend(check_crate_root(&rel, &source));
-        }
-    }
+    let g = graph::build(&summaries, &graph::Deps::new());
+    findings.extend(taint::workspace_findings(&g, &summaries, enabled));
     findings.sort();
     findings.dedup();
-    Ok(findings)
+    findings
+}
+
+/// Parse the workspace's `Cargo.toml` manifests into a crate-import-name
+/// dependency map, used to filter fuzzy method-call edges. Only the
+/// `[dependencies]` / `[dev-dependencies]` section headers are honoured
+/// (`[workspace.dependencies]` deliberately does not match: it lists
+/// everything).
+pub fn workspace_deps(root: &Path) -> io::Result<graph::Deps> {
+    let mut manifests: Vec<(String, PathBuf)> =
+        vec![("deep_repro".to_string(), root.join("Cargo.toml"))];
+    for dir in ["crates", "vendor"] {
+        let base = root.join(dir);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut members: Vec<_> = fs::read_dir(&base)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        for m in members {
+            let name = m.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let krate = if dir == "crates" {
+                format!("deep_{}", name.replace('-', "_"))
+            } else {
+                name.replace('-', "_")
+            };
+            manifests.push((krate, m.join("Cargo.toml")));
+        }
+    }
+    let mut deps = graph::Deps::new();
+    for (krate, path) in manifests {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let mut in_deps = false;
+        let mut set = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]" || t == "[dev-dependencies]";
+                continue;
+            }
+            if !in_deps || t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let key: String = t
+                .chars()
+                .take_while(|c| !matches!(c, '.' | '=' | ' ' | '\t'))
+                .collect();
+            if !key.is_empty() {
+                set.insert(key.replace('-', "_"));
+            }
+        }
+        deps.insert(krate, set);
+    }
+    Ok(deps)
 }
 
 /// Directories never descended into.
@@ -228,6 +409,45 @@ mod tests {
             !rules_for_path("crates/scenario/src/bin/run_scenario.rs").has(Rule::AmbientAuthority)
         );
         assert!(rules_for_path("crates/scenario/src/schema.rs").has(Rule::AmbientAuthority));
+    }
+
+    #[test]
+    fn incremental_cache_tracks_edits_and_memoizes_clean_runs() {
+        let root = std::env::temp_dir().join("deep-lint-incr-test");
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/core/src")).unwrap();
+        fs::create_dir_all(root.join("crates/lint/src")).unwrap();
+        fs::write(
+            root.join("crates/lint/src/timing.rs"),
+            "pub fn stamp() -> u64 { 0 }\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/core/src/resilience.rs"),
+            "pub fn f(seed: u64) -> u64 { seed ^ deep_lint::timing::stamp() }\n",
+        )
+        .unwrap();
+        let cache = root.join("cache");
+        let all = RuleSet::all();
+        let cold = scan_workspace_cached(&root, &all, Some(&cache), false).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.findings.is_empty(), "{:?}", cold.findings);
+        let warm = scan_workspace_cached(&root, &all, Some(&cache), false).unwrap();
+        assert_eq!(warm.cache_hits, 2);
+        assert!(warm.findings.is_empty(), "{:?}", warm.findings);
+        // Edit the helper to read the wall clock: the edited file must
+        // re-lex, the workspace memo must invalidate, and the
+        // *cross-file* D4 finding must appear in the unchanged caller.
+        fs::write(
+            root.join("crates/lint/src/timing.rs"),
+            "pub fn stamp() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+        )
+        .unwrap();
+        let edited = scan_workspace_cached(&root, &all, Some(&cache), false).unwrap();
+        assert_eq!(edited.cache_hits, 1, "only the edited file re-lexes");
+        assert_eq!(edited.findings.len(), 1, "{:?}", edited.findings);
+        assert_eq!(edited.findings[0].rule, Rule::DeterminismTaint);
+        assert_eq!(edited.findings[0].path, "crates/core/src/resilience.rs");
     }
 
     #[test]

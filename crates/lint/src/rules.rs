@@ -37,17 +37,29 @@ pub enum Rule {
     MissingForbidUnsafe,
     /// A `deep-lint:` pragma that does not parse or lacks a reason.
     MalformedPragma,
+    /// D4 — interprocedural: a sim-scope call transitively reaches an
+    /// ambient-authority source outside D2's file scope.
+    DeterminismTaint,
+    /// D5 — interprocedural: un-partitioned `spawn` or shared-mutable
+    /// access reachable from partitioned des_scaling code.
+    PartitionSafety,
+    /// P1 — interprocedural: panic sink reachable from deep-serve
+    /// request handling.
+    PanicPath,
 }
 
 impl Rule {
     /// Every rule, in catalogue order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::UnorderedIter,
         Rule::AmbientAuthority,
         Rule::UnorderedFloatReduce,
         Rule::UndocumentedUnsafe,
         Rule::MissingForbidUnsafe,
         Rule::MalformedPragma,
+        Rule::DeterminismTaint,
+        Rule::PartitionSafety,
+        Rule::PanicPath,
     ];
 
     /// The stable textual id (used by pragmas and `--only`/`--skip`).
@@ -59,6 +71,9 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
             Rule::MalformedPragma => "malformed-pragma",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::PartitionSafety => "partition-safety",
+            Rule::PanicPath => "panic-path",
         }
     }
 
@@ -86,6 +101,21 @@ impl Rule {
             Rule::MalformedPragma => {
                 "a deep-lint pragma that does not parse, names an unknown rule, \
                  or lacks the mandatory justification"
+            }
+            Rule::DeterminismTaint => {
+                "interprocedural: a call in sim-scope code transitively reaches \
+                 a wall-clock/env/RNG source defined in a D2-exempt file — the \
+                 cross-file blind spot of ambient-authority"
+            }
+            Rule::PartitionSafety => {
+                "interprocedural: code reachable from the partitioned des_scaling \
+                 path uses un-partitioned Sim::spawn or shared-mutable (RefCell) \
+                 state, which would break the (at,seq) merge-order proof"
+            }
+            Rule::PanicPath => {
+                "interprocedural: unwrap/expect/map-index reachable from \
+                 deep-serve request handling — a malformed job must yield an \
+                 error response, not abort the daemon"
             }
         }
     }
@@ -166,6 +196,21 @@ fn collect_pragmas(file: &LexFile, path: &str) -> (Vec<Pragma>, Vec<Finding>) {
         }
     }
     (pragmas, findings)
+}
+
+/// Well-formed pragma coverage, for the interprocedural passes (which
+/// run long after `lint_source` and need to honour the same grammar):
+/// (covered line, allowed rules). Malformed pragmas are reported by
+/// `lint_source`, not here.
+pub(crate) fn pragma_allows(file: &LexFile) -> Vec<(u32, Vec<Rule>)> {
+    let (pragmas, _) = collect_pragmas(file, "");
+    pragmas
+        .into_iter()
+        .filter_map(|p| {
+            p.covers
+                .map(|line| (line, p.rules.into_iter().collect::<Vec<_>>()))
+        })
+        .collect()
 }
 
 /// A comment is a pragma *attempt* only when its content (after the

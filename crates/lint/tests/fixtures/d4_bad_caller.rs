@@ -1,0 +1,7 @@
+// D4 fixture, the sim-crate half: no ambient token appears in this
+// file, so file-local D2 provably cannot fire — yet the result of a
+// simulation depends on wall-clock time through the cross-file call.
+
+pub fn seeded_run(seed: u64) -> u64 {
+    seed ^ deep_lint::timing::wall_stamp() // FIRE determinism-taint
+}

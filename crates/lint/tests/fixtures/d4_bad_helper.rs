@@ -1,0 +1,10 @@
+// D4 fixture, the D2-exempt half: lives at a `crates/lint/**`-style
+// path where ambient authority is locally legal. File-local D2 stays
+// silent here by policy — only the interprocedural taint pass can see
+// a sim-crate caller reaching this.
+use std::time::Instant;
+
+pub fn wall_stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

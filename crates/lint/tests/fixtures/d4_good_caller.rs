@@ -1,0 +1,6 @@
+// D4 good twin: identical call shape to d4_bad_caller.rs; clean
+// because the helper it reaches is pure.
+
+pub fn seeded_run(seed: u64) -> u64 {
+    seed ^ deep_lint::timing::wall_stamp()
+}

@@ -1,0 +1,6 @@
+// D4 good twin: the same shape of cross-crate helper, but pure — no
+// ambient authority anywhere in its body, so no taint to propagate.
+
+pub fn wall_stamp() -> u64 {
+    0x9e37_79b9_7f4a_7c15
+}

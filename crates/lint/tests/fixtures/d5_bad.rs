@@ -1,0 +1,13 @@
+// D5 fixture: partition-scope code (a `des_scaling` module) spawning
+// without a partition and mutating shared state through a RefCell.
+
+async fn worker(cell: Rc<RefCell<u64>>) {
+    *cell.borrow_mut() += 1; // FIRE partition-safety (shared-mutable)
+}
+
+pub fn run(sim: &mut Simulation) {
+    let ctx = sim.handle();
+    let cell = Rc::new(RefCell::new(0u64));
+    ctx.spawn("w", worker(cell)); // FIRE partition-safety (un-partitioned)
+    sim.run();
+}

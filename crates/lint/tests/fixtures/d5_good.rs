@@ -1,0 +1,16 @@
+// D5 good twin: every spawn pins a partition and the per-rank state is
+// owned by the coroutine, not shared through a cell.
+
+async fn worker(rank: usize) {
+    let mut local = 0u64;
+    local += rank as u64;
+    let _ = local;
+}
+
+pub fn run(sim: &mut Simulation, partitions: u32) {
+    let ctx = sim.handle();
+    for r in 0..8usize {
+        ctx.spawn_in(r as u32 % partitions, "w", worker(r));
+    }
+    sim.run();
+}

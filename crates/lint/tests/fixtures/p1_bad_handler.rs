@@ -1,0 +1,7 @@
+// P1 fixture, the request-handling half: a deep-serve entry point that
+// forwards untrusted bytes to a decoder in another crate. No sink
+// appears in this file — the panic is two hops away.
+
+pub fn serve_connection(body: &[u8]) -> u64 {
+    deep_json::decode(body)
+}

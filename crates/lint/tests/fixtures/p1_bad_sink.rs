@@ -1,0 +1,10 @@
+// P1 fixture, the sink half: an unwrap on attacker-controlled input,
+// reachable from `serve_connection` across the crate boundary.
+
+pub fn decode(bytes: &[u8]) -> u64 {
+    parse(bytes).unwrap() // FIRE panic-path
+}
+
+fn parse(bytes: &[u8]) -> Option<u64> {
+    bytes.first().map(|&b| b as u64)
+}

@@ -1,0 +1,8 @@
+// P1 good twin: the same decoder call, but the handler isolates it
+// behind catch_unwind — a panic becomes an error response, so the
+// sink is unreachable as an abort.
+
+pub fn serve_connection(body: &[u8]) -> u64 {
+    let out = std::panic::catch_unwind(|| deep_json::decode(body));
+    out.unwrap_or(0)
+}

@@ -738,7 +738,9 @@ fn parse_sweep(doc: &Value, app: Option<&AppSpec>) -> Result<Vec<SweepAxis>, Str
                 _ => return Err(format!("sweep axis '{param}': 'values' must be an array")),
             }
         } else if has_grid {
-            let grid = axis.get("grid").unwrap();
+            let grid = axis
+                .get("grid")
+                .ok_or_else(|| format!("sweep axis '{param}': 'grid' must be a table"))?;
             if !matches!(grid, Value::Object(_)) {
                 return Err(format!("sweep axis '{param}': 'grid' must be a table"));
             }

@@ -350,21 +350,25 @@ impl<R: BufRead> Read for ChunkedReader<'_, R> {
         if self.done || buf.is_empty() {
             return Ok(0);
         }
-        if self.remaining.is_none() {
-            let line = read_line_limited(self.r)?.ok_or_else(|| bad("truncated chunk size"))?;
-            let size = usize::from_str_radix(line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
-            if size > MAX_BODY {
-                return Err(bad("chunk too large"));
+        let left = match self.remaining {
+            Some(left) => left,
+            None => {
+                let line = read_line_limited(self.r)?.ok_or_else(|| bad("truncated chunk size"))?;
+                let size =
+                    usize::from_str_radix(line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+                if size > MAX_BODY {
+                    return Err(bad("chunk too large"));
+                }
+                if size == 0 {
+                    // Consume the trailing CRLF of the terminal chunk.
+                    let _ = read_line_limited(self.r)?;
+                    self.done = true;
+                    return Ok(0);
+                }
+                self.remaining = Some(size);
+                size
             }
-            if size == 0 {
-                // Consume the trailing CRLF of the terminal chunk.
-                let _ = read_line_limited(self.r)?;
-                self.done = true;
-                return Ok(0);
-            }
-            self.remaining = Some(size);
-        }
-        let left = self.remaining.unwrap();
+        };
         let take = left.min(buf.len());
         self.r.read_exact(&mut buf[..take])?;
         if take == left {

@@ -514,23 +514,24 @@ fn claim_batch(inner: &Inner, st: &mut State) -> Option<Batch> {
     // Rotate to the next client that still has queued work.
     let lead_id = loop {
         let client = st.rotation.pop_front()?;
-        match st.queues.get_mut(&client) {
-            Some(q) if !q.is_empty() => {
-                let id = q.pop_front().unwrap();
-                if q.is_empty() {
+        match st.queues.get_mut(&client).and_then(VecDeque::pop_front) {
+            Some(id) => {
+                if st.queues.get(&client).is_some_and(|q| q.is_empty()) {
                     st.queues.remove(&client);
                 } else {
                     st.rotation.push_back(client);
                 }
                 break id;
             }
-            _ => {
+            None => {
                 // Stale rotation entry; drop it and keep looking.
                 st.queues.remove(&client);
             }
         }
     };
-    let lead_spec = st.jobs[&lead_id].spec.clone();
+    // A queued id with no job record is an admission bug; skip the
+    // claim rather than abort every worker behind this mutex.
+    let lead_spec = st.jobs.get(&lead_id)?.spec.clone();
     let mut members = Vec::new();
     let (seed, replicas) = match &lead_spec {
         JobSpec::Sweep(cfg) => {
@@ -550,7 +551,7 @@ fn claim_batch(inner: &Inner, st: &mut State) -> Option<Batch> {
                 if members.len() >= MAX_BATCH_JOBS {
                     break 'scan;
                 }
-                if let JobSpec::Sweep(cfg) = &st.jobs[&id].spec {
+                if let Some(JobSpec::Sweep(cfg)) = st.jobs.get(&id).map(|j| &j.spec) {
                     if lead_cfg.compatible_with(cfg) {
                         claimed.push((client.clone(), id));
                         members.push((id, cfg.points.clone()));
@@ -594,9 +595,11 @@ fn claim_batch(inner: &Inner, st: &mut State) -> Option<Batch> {
 
     let batch_size = members.len();
     for &(id, _) in &members {
+        let Some(job) = st.jobs.get_mut(&id) else {
+            continue;
+        };
         st.queued -= 1;
         st.running += 1;
-        let job = st.jobs.get_mut(&id).unwrap();
         job.state = JobState::Running;
         job.batched_with = (batch_size - 1) as u32;
         job.threads = threads;
@@ -743,7 +746,9 @@ fn execute_sweep_batch(inner: &Inner, batch: &Batch) {
         }
         for (m, &(id, _)) in batch.members.iter().enumerate() {
             if done[m] > 0 && done[m] < totals[m] {
-                let job = st.jobs.get_mut(&id).unwrap();
+                let Some(job) = st.jobs.get_mut(&id) else {
+                    continue;
+                };
                 job.push_event(
                     "progress",
                     vec![
@@ -776,8 +781,11 @@ fn execute_sweep_batch(inner: &Inner, batch: &Batch) {
 /// Record a terminal state, cache the result, and wake watchers.
 fn finish_job(inner: &Inner, id: u64, outcome: Result<Value, String>) {
     let mut st = inner.state.lock().unwrap();
-    st.running -= 1;
-    let job = st.jobs.get_mut(&id).unwrap();
+    // Finishing an id with no job record is a bookkeeping bug; drop the
+    // result rather than abort the worker that holds the state mutex.
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return;
+    };
     let micros = job.submitted_at.elapsed().as_micros() as u64;
     job.service_micros = Some(micros);
     let cache_insert = match outcome {
@@ -804,6 +812,7 @@ fn finish_job(inner: &Inner, id: u64, outcome: Result<Value, String>) {
         }
     };
     let succeeded = job.state == JobState::Done;
+    st.running -= 1;
     if succeeded {
         st.counters.completed += 1;
     } else {

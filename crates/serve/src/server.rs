@@ -231,13 +231,14 @@ fn submit(req: &Request, scheduler: &Scheduler, draining: &AtomicBool) -> Respon
         Err(e) => return Response::json(400, &object([("error", e.as_str().into())])),
     };
     match scheduler.submit(job_req) {
-        Ok(admitted) => {
-            let job = scheduler
-                .job_json(admitted.job_id)
-                .expect("job just created");
+        Ok(admitted) => match scheduler.job_json(admitted.job_id) {
             // 200 when the answer is already in hand, 202 when queued.
-            Response::json(if admitted.cached { 200 } else { 202 }, &job)
-        }
+            Some(job) => Response::json(if admitted.cached { 200 } else { 202 }, &job),
+            None => Response::json(
+                500,
+                &object([("error", "job record vanished after admission".into())]),
+            ),
+        },
         Err(Rejection::QueueFull { retry_after_s }) => {
             Response::json(429, &object([("error", "queue full".into())]))
                 .header("Retry-After", &retry_after_s.to_string())
